@@ -1,0 +1,251 @@
+// Package cqa's root benchmark harness: one benchmark family per
+// experiment E1–E9 of DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers depend on the host; EXPERIMENTS.md records the
+// shapes that matter (who wins, by what factor, where the crossovers are).
+package cqa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/direct"
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/matching"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+	"cqa/internal/special"
+)
+
+func figure1() *db.Database {
+	return parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+		S(Bob | Maria)
+		S(George | Alice)
+		S(George | Maria)
+	`)
+}
+
+// E1: certainty of q1 on the Figure 1 database by repair enumeration.
+func BenchmarkE1Fig1GirlsBoys(b *testing.B) {
+	d := figure1()
+	q1 := reduction.Q1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive.IsCertain(q1, d) {
+			b.Fatal("q1 must not be certain on Figure 1")
+		}
+	}
+}
+
+// E2: classification (attack graph + rewriting construction) of every
+// example query in the paper.
+func BenchmarkE2Classify(b *testing.B) {
+	queries := []string{
+		"R(x | y), S(y | x)",
+		"R(x | y), !S(y | x)",
+		"R(x, y), !S(x | y), !T(y | x)",
+		"P(x | y), !N('c' | y)",
+		"S(x), !N1('c' | x), !N2('c' | x), !N3('c' | x)",
+		"Mayor(t | p), !Lives(p | t)",
+		"Likes(p, t), !Lives(p | t), !Mayor(t | p)",
+		"Lives(p | t), !Born(p | t), !Likes(p, t)",
+		"Likes(p, t), !Born(p | t), !Lives(p | t)",
+		"X(x), Y(y), !R(x | y), !S(y | x)",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range queries {
+			if _, err := core.Classify(parse.MustQuery(src)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E3: construction of the q_Hall rewriting by ℓ (exponential output size)
+// and its evaluation on a fixed S-COVERING instance.
+func BenchmarkE3HallRewriting(b *testing.B) {
+	for l := 1; l <= 5; l++ {
+		b.Run(fmt.Sprintf("construct/l=%d", l), func(b *testing.B) {
+			q := reduction.QHall(l)
+			for i := 0; i < b.N; i++ {
+				if _, err := rewrite.Rewrite(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for l := 1; l <= 3; l++ {
+		b.Run(fmt.Sprintf("evaluate/l=%d", l), func(b *testing.B) {
+			q := reduction.QHall(l)
+			f, err := rewrite.Rewrite(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			inst := gen.SCovering(rng, 4, l, 0.5)
+			d := reduction.SCoveringToQHall(inst)
+			if err := parse.DeclareQueryRelations(d, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fo.Eval(d, f)
+			}
+		})
+	}
+}
+
+// E4: the BPM reduction: direct Hopcroft–Karp vs repair enumeration on
+// the reduced database.
+func BenchmarkE4BPMReduction(b *testing.B) {
+	q1 := reduction.Q1()
+	for _, n := range []int{3, 5} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := gen.Bipartite(rng, n, 0.35)
+		d, err := reduction.BPMToQ1(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("hopcroft-karp/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matching.HasPerfectMatching(g)
+			}
+		})
+		b.Run(fmt.Sprintf("naive-certainty/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naive.IsCertain(q1, d)
+			}
+		})
+	}
+}
+
+// E5: the UFA reduction end to end.
+func BenchmarkE5UFAReduction(b *testing.B) {
+	q2 := reduction.Q2()
+	for _, n := range []int{3, 5} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		inst := gen.UFA(rng, n, n)
+		b.Run(fmt.Sprintf("reduce+decide/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := reduction.UFAToQ2(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				naive.IsCertain(q2, d)
+			}
+		})
+	}
+}
+
+// E6: the q4 decision procedure vs repair enumeration.
+func BenchmarkE6Q4Special(b *testing.B) {
+	d := special.Figure3Database()
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	b.Run("special", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !special.Q4Certain(d) {
+				b.Fatal("Figure 3 must be certain")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !naive.IsCertain(q, d) {
+				b.Fatal("Figure 3 must be certain")
+			}
+		}
+	})
+}
+
+// E7: the data-complexity scaling claim: rewriting evaluation and
+// Algorithm 1 against repair enumeration on growing databases.
+func BenchmarkE7Scaling(b *testing.B) {
+	q := parse.MustQuery("Lives(p | t), !Born(p | t), !Likes(p, t)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, blocks := range []int{4, 16, 64, 256} {
+		rng := rand.New(rand.NewSource(int64(blocks)))
+		opt := gen.DBOptions{BlocksPerRelation: blocks, MaxBlockSize: 2, DomainPerVariable: blocks, ConstantBias: 0.7}
+		d := gen.Database(rng, q, opt)
+		b.Run(fmt.Sprintf("rewriting/blocks=%d", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fo.Eval(d, f)
+			}
+		})
+		b.Run(fmt.Sprintf("algorithm1/blocks=%d", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := direct.IsCertain(q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if blocks <= 8 {
+			b.Run(fmt.Sprintf("naive/blocks=%d", blocks), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					naive.IsCertain(q, d)
+				}
+			})
+		}
+	}
+}
+
+// E8: classification throughput on random weakly-guarded queries.
+func BenchmarkE8RandomQueries(b *testing.B) {
+	rng := rand.New(rand.NewSource(2025))
+	opts := gen.DefaultQueryOptions()
+	queries := make([]string, 100)
+	for i := range queries {
+		queries[i] = gen.Query(rng, opts).String()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := parse.MustQuery(queries[i%len(queries)])
+		if _, err := core.Classify(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9: attack-graph construction on chain queries of growing size
+// (polynomial-time decidability of the dichotomy test).
+func BenchmarkE9AttackGraph(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		q := chainQueryBench(n)
+		b.Run(fmt.Sprintf("atoms=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Classify(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func chainQueryBench(n int) schema.Query {
+	src := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			src += ", "
+		}
+		src += fmt.Sprintf("R%d(x%d | x%d)", i, i, i+1)
+	}
+	src += ", !N(x0 | x1)"
+	return parse.MustQuery(src)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/attack"
+	"cqa/internal/core"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+	"cqa/internal/sqlexec"
+	"cqa/internal/sqlgen"
+)
+
+// runE10 exercises the extension features built on top of the paper:
+//
+//   - SQL end-to-end: the generated single SQL query, executed by the
+//     in-repo SQL engine, equals repair enumeration;
+//   - free variables: certain answers of q1(x) on the Figure 1 database;
+//   - reifiability: unattacked = reifiable (Corollary 6.9 and
+//     Proposition 7.2, both directions checked empirically);
+//   - ♯CERTAINTY: repair counting on the Figure 1 database.
+func runE10(quick bool) error {
+	// SQL end-to-end.
+	trials := 120
+	if quick {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(10))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	agree := 0
+	done := 0
+	for done < trials {
+		q := gen.Query(rng, opts)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			continue
+		}
+		sql, err := sqlgen.Translate(f, sqlgen.Options{})
+		if err != nil {
+			return err
+		}
+		d := gen.Database(rng, q, dbOpts)
+		got, err := sqlexec.Run(sql, d)
+		if err != nil {
+			return err
+		}
+		if got == naive.IsCertain(q, d) {
+			agree++
+		}
+		done++
+	}
+	fmt.Printf("SQL end-to-end (rewrite → translate → execute): %d/%d agree with naive\n", agree, trials)
+	if agree != trials {
+		return fmt.Errorf("SQL execution diverged")
+	}
+
+	// Free variables: the Boolean q1 is not FO, but q1(x) is; its certain
+	// answers on Figure 1 are the girls that stay unmatched in every
+	// repair (none, for the full Figure 1).
+	q1 := reduction.Q1()
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+		S(Bob | Maria)
+		S(George | Alice)
+		S(George | Maria)
+	`)
+	if _, err := rewrite.Rewrite(q1); err == nil {
+		return fmt.Errorf("Boolean q1 unexpectedly has a rewriting")
+	}
+	if _, err := rewrite.RewriteFree(q1, []string{"x"}); err != nil {
+		return fmt.Errorf("q1(x) should be FO: %w", err)
+	}
+	answers, err := core.CertainAnswers(q1, []string{"x"}, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("q1(x) on Figure 1: FO with x free; certain answers = %v\n", answers)
+
+	// Reifiability (both directions of the characterization).
+	checked, witnesses := 0, 0
+	for checked < 40 {
+		q := gen.Query(rng, opts)
+		rv, err := core.ReifiableVars(q)
+		if err != nil {
+			continue
+		}
+		checked++
+		g := attack.New(q)
+		attacked := make(schema.VarSet)
+		for _, rel := range g.Atoms() {
+			attacked.AddAll(g.AttackedVars(rel))
+		}
+		for _, x := range attacked.Sorted() {
+			if rv.Has(x) {
+				return fmt.Errorf("attacked variable %s reported reifiable in %s", x, q)
+			}
+			wdb, err := reduction.Prop72Witness(q, x, "α", "β")
+			if err != nil {
+				return err
+			}
+			if !naive.IsCertain(q, wdb) {
+				return fmt.Errorf("Prop 7.2 witness broken for %s in %s", x, q)
+			}
+			witnesses++
+		}
+	}
+	fmt.Printf("reifiability: %d random queries checked, %d Proposition 7.2 witnesses validated\n",
+		checked, witnesses)
+
+	// ♯CERTAINTY on Figure 1: exact count and Monte-Carlo estimate.
+	sat, total := naive.CountSatisfyingRepairs(q1, d)
+	est := naive.EstimateFrequency(q1, d, 2000, rand.New(rand.NewSource(16)))
+	fmt.Printf("♯CERTAINTY(q1) on Figure 1: %d of %d repairs satisfy q1 (frequency %.3f, Monte-Carlo ≈ %.3f)\n",
+		sat, total, naive.Frequency(q1, d), est)
+	if sat == total {
+		return fmt.Errorf("Figure 1 should have a falsifying repair")
+	}
+	return nil
+}

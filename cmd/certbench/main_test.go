@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// Every experiment self-checks its cross-validations and returns an
+// error on any mismatch, so running them in quick mode is a meaningful
+// regression test of the whole reproduction.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.run(true); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+		})
+	}
+}

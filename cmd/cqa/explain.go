@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cqa/internal/direct"
+	"cqa/internal/parse"
+)
+
+// explainCmd runs Algorithm 1 with a step-by-step derivation trace.
+func explainCmd(args []string, stdin io.Reader, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("explain needs a query and a database file (or - for stdin)")
+	}
+	q, err := parse.Query(args[0])
+	if err != nil {
+		return err
+	}
+	var src []byte
+	if args[1] == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(args[1])
+	}
+	if err != nil {
+		return err
+	}
+	d, err := parse.Database(string(src))
+	if err != nil {
+		return err
+	}
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		return err
+	}
+	ans, err := direct.IsCertainTraced(q, d, func(depth int, msg string) {
+		fmt.Fprintf(out, "%s%s\n", strings.Repeat("  ", depth), msg)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "certain:", ans)
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"cqa/internal/core"
+	"cqa/internal/fo"
+)
+
+// classificationJSON is the machine-readable form of `cqa classify -json`.
+type classificationJSON struct {
+	Query         string      `json:"query"`
+	Guarded       bool        `json:"guarded"`
+	WeaklyGuarded bool        `json:"weaklyGuarded"`
+	AttackEdges   [][2]string `json:"attackEdges"`
+	Acyclic       bool        `json:"acyclic"`
+	Verdict       string      `json:"verdict"`
+	Hardness      string      `json:"hardness,omitempty"`
+	Cycle         []string    `json:"cycle,omitempty"`
+	Rewriting     string      `json:"rewriting,omitempty"`
+	Size          int         `json:"size,omitempty"`
+}
+
+func writeClassificationJSON(out io.Writer, cls *core.Classification) error {
+	j := classificationJSON{
+		Query:         cls.Query.String(),
+		Guarded:       cls.Guarded,
+		WeaklyGuarded: cls.WeaklyGuarded,
+		AttackEdges:   cls.Graph.Edges(),
+		Acyclic:       cls.Acyclic,
+		Verdict:       string(cls.Verdict),
+		Hardness:      cls.Hardness,
+	}
+	if j.AttackEdges == nil {
+		j.AttackEdges = [][2]string{}
+	}
+	if cls.CycleF != "" {
+		j.Cycle = []string{cls.CycleF, cls.CycleG}
+	}
+	if cls.Rewriting != nil {
+		j.Rewriting = cls.Rewriting.String()
+		j.Size = fo.Size(cls.Rewriting)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}

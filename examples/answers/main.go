@@ -1,0 +1,78 @@
+// Command answers demonstrates non-Boolean consistent query answering:
+// free variables are treated as constants (Section 1 of the paper), which
+// can move a query into FO — the Boolean q1 has no consistent first-order
+// rewriting, but q1(x) does. The example computes certain answers over an
+// inconsistent HR database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+func main() {
+	// Employee(name | dept): inconsistent department records.
+	// Manager(dept | name): disputed managers.
+	// Badge(name, dept): all-key audit log of badge usage.
+	d := parse.MustDatabase(`
+		Employee(ada    | search)
+		Employee(ada    | ads)      # conflicting HR records
+		Employee(grace  | infra)
+		Employee(alan   | search)
+		Manager(search  | grace)
+		Manager(search  | alan)     # disputed
+		Manager(infra   | grace)
+		Badge(ada, search)
+		Badge(grace, infra)
+		Badge(alan, search)
+	`)
+	fmt.Println("inconsistent database:")
+	fmt.Print(d)
+
+	// Which employees certainly work in a department they badge into?
+	q1 := parse.MustQuery("Employee(n | d), Badge(n, d)")
+	fmt.Println("\nq(n) = which employees n certainly work where they badge in?")
+	showAnswers(q1, []string{"n"}, d)
+
+	// Which (dept, name) pairs certainly have a manager who is not an
+	// employee of that department?
+	q2 := parse.MustQuery("Manager(d | n), !Employee(n | d)")
+	fmt.Println("\nq(d) = which departments d certainly have a manager from outside?")
+	showAnswers(q2, []string{"d"}, d)
+
+	// The Boolean q1 of the paper is not FO, but with x free it is.
+	q3 := parse.MustQuery("R(x | y), !S(y | x)")
+	if _, err := rewrite.Rewrite(q3); err != nil {
+		fmt.Println("\nBoolean q1 has no rewriting:", err)
+	}
+	f, err := rewrite.RewriteFree(q3, []string{"x"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("q1(x) IS first-order rewritable; rewriting with x free:")
+	fmt.Printf("  %s   (size %d)\n", f, fo.Size(f))
+}
+
+func showAnswers(q schema.Query, free []string, d *db.Database) {
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		log.Fatal(err)
+	}
+	answers, err := core.CertainAnswers(q, free, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(answers) == 0 {
+		fmt.Println("  (no certain answers)")
+		return
+	}
+	for _, a := range answers {
+		fmt.Printf("  %v\n", []string(a))
+	}
+}

@@ -1,0 +1,68 @@
+// Command hall reproduces Examples 1.2 and 6.12: the S-COVERING problem,
+// its reduction to the complement of CERTAINTY(q_Hall), and the consistent
+// first-order rewriting of Figure 2 (the ℓ = 3 case), whose size grows
+// exponentially in ℓ as the paper remarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqa/internal/core"
+	"cqa/internal/fo"
+	"cqa/internal/matching"
+	"cqa/internal/naive"
+	"cqa/internal/reduction"
+	"cqa/internal/rewrite"
+)
+
+func main() {
+	// Figure 2 is the rewriting for ℓ = 3.
+	q3 := reduction.QHall(3)
+	fmt.Println("q_Hall (ℓ=3) =", q3)
+	f, err := rewrite.Rewrite(q3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconsistent first-order rewriting (Figure 2):")
+	fmt.Println(f)
+
+	fmt.Println("\nrewriting size by ℓ (exponential growth, cf. Example 6.12):")
+	fmt.Println("  ℓ   AST nodes")
+	for l := 1; l <= 6; l++ {
+		fl, err := rewrite.Rewrite(reduction.QHall(l))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d   %d\n", l, fo.Size(fl))
+	}
+
+	// A concrete S-COVERING instance: S = {a, b, c},
+	// T1 = {a, b}, T2 = {b}, T3 = {b, c}.
+	inst := matching.SCoveringInstance{
+		S: []string{"a", "b", "c"},
+		T: [][]string{{"a", "b"}, {"b"}, {"b", "c"}},
+	}
+	fmt.Printf("\nS-COVERING instance: S=%v, T=%v\n", inst.S, inst.T)
+	fmt.Println("solvable (pick a from T1, b from T2, c from T3):", inst.Solvable())
+
+	d := reduction.SCoveringToQHall(inst)
+	certain, err := core.Certain(q3, d, core.EngineRewriting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CERTAINTY(q_Hall) on the reduced database:", certain)
+	fmt.Println("(solvable instances make q_Hall uncertain — the repair that")
+	fmt.Println(" picks the covering falsifies the query)")
+
+	// An unsolvable variant: two elements, one set.
+	inst2 := matching.SCoveringInstance{
+		S: []string{"a", "b"},
+		T: [][]string{{"a", "b"}},
+	}
+	d2 := reduction.SCoveringToQHall(inst2)
+	q1 := reduction.QHall(1)
+	certain2 := naive.IsCertain(q1, d2)
+	fmt.Printf("\nunsolvable instance S=%v, T=%v: solvable=%v, CERTAINTY=%v\n",
+		inst2.S, inst2.T, inst2.Solvable(), certain2)
+}

@@ -1,0 +1,83 @@
+// Command matching reproduces Example 1.1 and Figure 1: the girls-boys
+// database, the connection between CERTAINTY(q1) and BIPARTITE PERFECT
+// MATCHING, and the Lemma 5.2 reduction run in both directions on random
+// graphs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/graphx"
+	"cqa/internal/matching"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+)
+
+func main() {
+	// Figure 1: R(girl | boy) = "girl knows boy"; S(boy | girl).
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+		S(Bob | Maria)
+		S(George | Alice)
+		S(George | Maria)
+	`)
+	q1 := reduction.Q1()
+	fmt.Println("q1 =", q1)
+	fmt.Println("\nFigure 1 database:")
+	fmt.Print(d)
+
+	certain := naive.IsCertain(q1, d)
+	fmt.Printf("\nCERTAINTY(q1) = %v\n", certain)
+	if r := naive.FalsifyingRepair(q1, d); r != nil {
+		fmt.Println("falsifying repair (the matching Alice–George, Maria–Bob):")
+		fmt.Print(r)
+	}
+
+	// The mutual-knowledge bipartite graph and its perfect matching.
+	b := mutualGraph(d)
+	fmt.Printf("\nmutual-knowledge graph has perfect matching: %v\n",
+		matching.HasPerfectMatching(b))
+
+	// Lemma 5.2 on random graphs: CERTAINTY(q1) == no perfect matching.
+	fmt.Println("\nLemma 5.2 on random bipartite graphs (n = side size):")
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("  n   edges  perfectMatching  certain(q1)  agree")
+	for _, n := range []int{2, 3, 4, 5} {
+		g := gen.Bipartite(rng, n, 0.35)
+		db2, err := reduction.BPMToQ1(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm := matching.HasPerfectMatching(g)
+		ct := naive.IsCertain(q1, db2)
+		fmt.Printf("  %d   %-5d  %-15v  %-11v  %v\n",
+			n, len(g.Edges()), pm, ct, pm != ct)
+	}
+}
+
+// mutualGraph builds the bipartite graph of girl-boy pairs that know each
+// other in both directions — the graph whose perfect matchings correspond
+// to repairs falsifying q1.
+func mutualGraph(d *db.Database) *graphx.Bipartite {
+	girls := d.Relation("R").ColumnValues(0)
+	boys := d.Relation("S").ColumnValues(0)
+	b := graphx.NewBipartite(girls, boys)
+	for _, rf := range d.Facts("R") {
+		g, boy := rf.Args[0], rf.Args[1]
+		if d.Has(db.F("S", boy, g)) {
+			if err := b.AddEdge(g, boy); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return b
+}

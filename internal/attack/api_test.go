@@ -1,0 +1,108 @@
+package attack_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func TestGraphAccessors(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	g := attack.New(q)
+	if g.Query().String() != q.String() {
+		t.Error("Query accessor broken")
+	}
+	if !g.AttacksVar("N", "x") || !g.AttacksVar("N", "y") {
+		t.Error("N should attack both x and y (Example 4.2)")
+	}
+	if g.AttacksVar("P", "x") {
+		t.Error("P should not attack x (x ∈ P⊕)")
+	}
+	un := g.Unattacked()
+	if len(un) != 1 || un[0] != "N" {
+		t.Errorf("unattacked = %v, want [N]", un)
+	}
+	s := g.String()
+	if !strings.Contains(s, "N -> {P}") || !strings.Contains(s, "P -> {}") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestReachFrom(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	g := attack.New(q)
+	// N|y reaches both y and x (via the co-occurrence in P).
+	if reach := g.ReachFrom("N", "y"); !reach.Equal(schema.NewVarSet("x", "y")) {
+		t.Errorf("ReachFrom(N, y) = %v, want {x, y}", reach)
+	}
+	// P|y reaches only y (x ∈ P⊕ blocks the step).
+	if reach := g.ReachFrom("P", "y"); !reach.Equal(schema.NewVarSet("y")) {
+		t.Errorf("ReachFrom(P, y) = %v, want {y}", reach)
+	}
+	// Unknown atom or variable outside vars(F): empty.
+	if !g.ReachFrom("Ghost", "y").Empty() {
+		t.Error("ReachFrom on unknown relation should be empty")
+	}
+	if !g.ReachFrom("N", "x").Empty() {
+		t.Error("ReachFrom(N, x) should be empty: x ∉ vars(N)")
+	}
+	// Variable in F⊕: empty.
+	if !g.ReachFrom("P", "x").Empty() {
+		t.Error("ReachFrom(P, x) should be empty: x ∈ P⊕")
+	}
+}
+
+func TestWitnessNegativeCases(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	g := attack.New(q)
+	if g.Witness("Ghost", "y", "x") != nil {
+		t.Error("witness for unknown relation should be nil")
+	}
+	if g.Witness("N", "zz", "x") != nil {
+		t.Error("witness from a variable outside vars(F) should be nil")
+	}
+	if g.Witness("P", "x", "y") != nil {
+		t.Error("witness starting inside F⊕ should be nil")
+	}
+	if _, _, ok := g.AttackVarWitness("P", "x"); ok {
+		t.Error("AttackVarWitness should fail for unattacked targets")
+	}
+}
+
+func TestNewPanicsOnSelfJoin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on self-joins")
+		}
+	}()
+	q := schema.NewQuery(
+		schema.Pos(schema.NewAtom("R", 1, schema.Var("x"))),
+		schema.Pos(schema.NewAtom("R", 1, schema.Var("y"))),
+	)
+	attack.New(q)
+}
+
+func TestTwoCycleAbsent(t *testing.T) {
+	g := attack.New(parse.MustQuery("R(x | y), S(y | z)"))
+	if _, _, ok := g.TwoCycle(); ok {
+		t.Error("acyclic graph should have no 2-cycle")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := attack.New(parse.MustQuery("R(x | y), !S(y | x)"))
+	dot := g.DOT()
+	for _, frag := range []string{
+		"digraph attack",
+		`"R" [label="R(x | y)", shape=ellipse, style=solid];`,
+		`"S" [label="¬S(y | x)", shape=box, style=dashed];`,
+		`"R" -> "S" [color=red, penwidth=2];`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT lacks %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package attack_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func edges(t *testing.T, q string) []string {
+	t.Helper()
+	g := attack.New(parse.MustQuery(q))
+	var out []string
+	for _, e := range g.Edges() {
+		out = append(out, e[0]+"->"+e[1])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	sort.Strings(want)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+}
+
+// Example 4.1: q2 = {P(x,y), ¬R(x|y), ¬S(y|x)} has four edges.
+func TestExample41(t *testing.T) {
+	got := edges(t, "P(x, y), !R(x | y), !S(y | x)")
+	eq(t, got, "R->S", "S->R", "R->P", "S->P")
+}
+
+// Example 4.1 closure sets: P⊕={x,y}, R⊕={x}, S⊕={y}.
+func TestExample41Oplus(t *testing.T) {
+	g := attack.New(parse.MustQuery("P(x, y), !R(x | y), !S(y | x)"))
+	if want := schema.NewVarSet("x", "y"); !g.Oplus("P").Equal(want) {
+		t.Errorf("P⊕ = %v, want %v", g.Oplus("P"), want)
+	}
+	if want := schema.NewVarSet("x"); !g.Oplus("R").Equal(want) {
+		t.Errorf("R⊕ = %v, want %v", g.Oplus("R"), want)
+	}
+	if want := schema.NewVarSet("y"); !g.Oplus("S").Equal(want) {
+		t.Errorf("S⊕ = %v, want %v", g.Oplus("S"), want)
+	}
+}
+
+// Example 4.2: q3 = {P(x|y), ¬N('c'|y)} has exactly one edge N → P.
+func TestExample42(t *testing.T) {
+	got := edges(t, "P(x | y), !N('c' | y)")
+	eq(t, got, "N->P")
+
+	g := attack.New(parse.MustQuery("P(x | y), !N('c' | y)"))
+	if !g.Oplus("P").Equal(schema.NewVarSet("x")) {
+		t.Errorf("P⊕ = %v, want {x}", g.Oplus("P"))
+	}
+	if !g.Oplus("N").Empty() {
+		t.Errorf("N⊕ = %v, want {}", g.Oplus("N"))
+	}
+	// A witness for N|y ⇝ x is the sequence (y, x).
+	wit := g.Witness("N", "y", "x")
+	if len(wit) != 2 || wit[0] != "y" || wit[1] != "x" {
+		t.Errorf("witness for N|y⇝x = %v, want [y x]", wit)
+	}
+	if g.Attacks("P", "N") {
+		t.Error("P should not attack N")
+	}
+}
+
+// Example 4.4: the attack graph of q2 is cyclic.
+func TestExample44Cyclic(t *testing.T) {
+	g := attack.New(parse.MustQuery("P(x, y), !R(x | y), !S(y | x)"))
+	if g.IsAcyclic() {
+		t.Fatal("attack graph of q2 should be cyclic")
+	}
+	f, gg, ok := g.TwoCycle()
+	if !ok {
+		t.Fatal("no 2-cycle found")
+	}
+	pair := f + gg
+	if pair != "RS" && pair != "SR" {
+		t.Errorf("2-cycle = (%s, %s), want R,S", f, gg)
+	}
+	if n := g.NegatedInPair(f, gg); n != 2 {
+		t.Errorf("negated atoms in 2-cycle = %d, want 2", n)
+	}
+}
+
+// Example 4.5: the attack graph of q3 is acyclic.
+func TestExample45Acyclic(t *testing.T) {
+	g := attack.New(parse.MustQuery("P(x | y), !N('c' | y)"))
+	if !g.IsAcyclic() {
+		t.Fatal("attack graph of q3 should be acyclic")
+	}
+}
+
+// Example 4.6: the mayors schema. q1 and q2 are cyclic; qa and qb are
+// acyclic with the attacks stated in the paper.
+// Likes is all-key (a person may like several towns); Born, Lives, and
+// Mayor have simple keys. These signatures are the ones that produce
+// exactly the attacks the example states.
+func TestExample46Mayors(t *testing.T) {
+	q1 := "Mayor(t | p), !Lives(p | t)"
+	q2 := "Likes(p, t), !Lives(p | t), !Mayor(t | p)"
+	qa := "Lives(p | t), !Born(p | t), !Likes(p, t)"
+	qb := "Likes(p, t), !Born(p | t), !Lives(p | t)"
+
+	if attack.New(parse.MustQuery(q1)).IsAcyclic() {
+		t.Error("q1 should be cyclic")
+	}
+	if attack.New(parse.MustQuery(q2)).IsAcyclic() {
+		t.Error("q2 should be cyclic")
+	}
+
+	ga := attack.New(parse.MustQuery(qa))
+	if !ga.IsAcyclic() {
+		t.Error("qa should be acyclic")
+	}
+	// The attack graph of qa contains exactly one attack: Lives → Likes.
+	eq(t, edges(t, qa), "Lives->Likes")
+
+	gb := attack.New(parse.MustQuery(qb))
+	if !gb.IsAcyclic() {
+		t.Error("qb should be acyclic")
+	}
+	// The attack graph of qb contains two attacks, both ending in Likes.
+	eq(t, edges(t, qb), "Born->Likes", "Lives->Likes")
+}
+
+// Example 3.2 second query: weakly-guarded but not guarded; all
+// machinery should handle the 5-ary negated atom.
+func TestWeaklyGuardedBigQuery(t *testing.T) {
+	q := parse.MustQuery("R(x | y, z, u), S(y | w, z), T(x | u, w), !N(x | y, z, u, w)")
+	if !q.WeaklyGuarded() {
+		t.Fatal("query should be weakly-guarded")
+	}
+	if q.Guarded() {
+		t.Fatal("query should not be guarded")
+	}
+	// The graph must be computable without panicking.
+	_ = attack.New(q)
+}
+
+// q_Hall (Example 6.12) has an acyclic attack graph: every N_i attacks S.
+func TestQHallAcyclic(t *testing.T) {
+	q := parse.MustQuery("S(x), !N1('c' | x), !N2('c' | x), !N3('c' | x)")
+	g := attack.New(q)
+	if !g.IsAcyclic() {
+		t.Fatal("q_Hall should be acyclic")
+	}
+	eq(t, edges(t, "S(x), !N1('c' | x), !N2('c' | x), !N3('c' | x)"),
+		"N1->S", "N2->S", "N3->S")
+}
+
+// q0, q1, q2 of Section 5.1: the three canonical hard queries are cyclic,
+// with a 2-cycle containing zero, one, and two negated atoms respectively.
+func TestCanonicalHardQueries(t *testing.T) {
+	cases := []struct {
+		src        string
+		negInCycle int
+	}{
+		{"R(x | y), S(y | x)", 0},
+		{"R(x | y), !S(y | x)", 1},
+		{"R(x, y), !S(x | y), !T(y | x)", 2},
+	}
+	for _, c := range cases {
+		g := attack.New(parse.MustQuery(c.src))
+		if g.IsAcyclic() {
+			t.Errorf("query %q should have a cyclic attack graph", c.src)
+			continue
+		}
+		f, gg, ok := g.TwoCycle()
+		if !ok {
+			t.Errorf("query %q: no 2-cycle found", c.src)
+			continue
+		}
+		if n := g.NegatedInPair(f, gg); n != c.negInCycle {
+			t.Errorf("query %q: 2-cycle (%s, %s) has %d negated atoms, want %d",
+				c.src, f, gg, n, c.negInCycle)
+		}
+	}
+}
+
+// When q⁻ = ∅ the attack graph coincides with the negation-free notion of
+// [19]; spot-check a known acyclic join query.
+func TestNegationFreePath(t *testing.T) {
+	// R(x|y), S(y|z): R attacks S (y ∉ R⊕ ... wait, y ∈ vars(R),
+	// R⊕ = closure of {x} under {y→yz} = {x}; witness (y) attacks key(S)).
+	// S does not attack R since S⊕ = closure of {y} under {x→xy} = {y},
+	// and S's variables z... S|z ⇝ x would need a path z–x avoiding {y}:
+	// z co-occurs only with y (in S); no path. Acyclic.
+	g := attack.New(parse.MustQuery("R(x | y), S(y | z)"))
+	if !g.Attacks("R", "S") {
+		t.Error("R should attack S")
+	}
+	if g.Attacks("S", "R") {
+		t.Error("S should not attack R")
+	}
+	if !g.IsAcyclic() {
+		t.Error("path query should be acyclic")
+	}
+}
+
+// All-key atoms have zero outdegree (used in the proof of Lemma 6.1).
+func TestAllKeyZeroOutdegree(t *testing.T) {
+	g := attack.New(parse.MustQuery("X(x), Y(y), R(x | y)"))
+	for _, rel := range []string{"X", "Y"} {
+		if len(g.AttackedVars(rel)) != 0 {
+			t.Errorf("all-key atom %s attacks variables %v", rel, g.AttackedVars(rel))
+		}
+	}
+}
+
+// Unattacked variables: in q3 both x and y are attacked by N (Example 4.2
+// notes N|y ⇝ y and N|y ⇝ x); in the path query R(x|y), S(y|z) only x is
+// unattacked.
+func TestUnattackedVars(t *testing.T) {
+	g := attack.New(parse.MustQuery("P(x | y), !N('c' | y)"))
+	uv := g.UnattackedVars()
+	if uv.Has("x") {
+		t.Error("x should be attacked (N ⇝ x via witness (y, x))")
+	}
+	if uv.Has("y") {
+		t.Error("y should be attacked (N ⇝ y)")
+	}
+
+	g2 := attack.New(parse.MustQuery("R(x | y), S(y | z)"))
+	uv2 := g2.UnattackedVars()
+	if !uv2.Equal(schema.NewVarSet("x")) {
+		t.Errorf("unattacked vars = %v, want {x}", uv2)
+	}
+}

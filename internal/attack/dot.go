@@ -1,0 +1,41 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the attack graph in Graphviz DOT format. Negated atoms are
+// drawn as dashed boxes, positive atoms as solid ellipses; edges in an
+// attack 2-cycle are highlighted.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph attack {\n")
+	b.WriteString("  rankdir=LR;\n")
+	for _, rel := range g.order {
+		atom := g.atoms[rel]
+		shape := "ellipse"
+		style := "solid"
+		label := atom.String()
+		if g.negated[rel] {
+			shape = "box"
+			style = "dashed"
+			label = "¬" + label
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, shape=%s, style=%s];\n", rel, label, shape, style)
+	}
+	for _, from := range g.order {
+		for _, to := range g.order {
+			if !g.edges[from][to] {
+				continue
+			}
+			attrs := ""
+			if g.edges[to][from] {
+				attrs = " [color=red, penwidth=2]"
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", from, to, attrs)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package attack_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/gen"
+	"cqa/internal/schema"
+)
+
+// randomQueries yields n random weakly-guarded queries.
+func randomQueries(seed int64, n int) []schema.Query {
+	rng := rand.New(rand.NewSource(seed))
+	opts := gen.DefaultQueryOptions()
+	out := make([]schema.Query, n)
+	for i := range out {
+		out[i] = gen.Query(rng, opts)
+	}
+	return out
+}
+
+// Lemma 4.7: if F|w ⇝ u, then for every positive P ≠ F with u ∈ vars(P),
+// F attacks some variable of key(P) (hence F → P).
+func TestLemma47(t *testing.T) {
+	for _, q := range randomQueries(47, 120) {
+		g := attack.New(q)
+		for _, rel := range g.Atoms() {
+			attacked := g.AttackedVars(rel)
+			for u := range attacked {
+				for _, p := range q.Positive() {
+					if p.Rel == rel || !p.Vars().Has(u) {
+						continue
+					}
+					hit := false
+					for kv := range p.KeyVars() {
+						if attacked.Has(kv) {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						t.Fatalf("Lemma 4.7 violated in %s: %s ⇝ %s ∈ vars(%s) but no key var of %s attacked",
+							q, rel, u, p.Rel, p.Rel)
+					}
+					if !g.Attacks(rel, p.Rel) {
+						t.Fatalf("Lemma 4.7 corollary violated in %s: %s should attack %s", q, rel, p.Rel)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 4.8: if F → P for positive P, then F attacks every variable of
+// vars(P) \ F^{⊕,q}.
+func TestLemma48(t *testing.T) {
+	for _, q := range randomQueries(48, 120) {
+		g := attack.New(q)
+		for _, from := range g.Atoms() {
+			oplus := g.Oplus(from)
+			attacked := g.AttackedVars(from)
+			for _, p := range q.Positive() {
+				if p.Rel == from || !g.Attacks(from, p.Rel) {
+					continue
+				}
+				for u := range p.Vars().Minus(oplus) {
+					if !attacked.Has(u) {
+						t.Fatalf("Lemma 4.8 violated in %s: %s → %s but %s ̸⇝ %s ∉ F⊕",
+							q, from, p.Rel, from, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 4.9 (weak guards): F → G and G → H imply F → H or G → F. As the
+// paper notes, this forces every cyclic attack graph to contain a cycle
+// of length two.
+func TestLemma49(t *testing.T) {
+	for _, q := range randomQueries(49, 150) {
+		g := attack.New(q)
+		atoms := g.Atoms()
+		for _, f := range atoms {
+			for _, gg := range atoms {
+				if f == gg || !g.Attacks(f, gg) {
+					continue
+				}
+				for _, h := range atoms {
+					if h == gg || !g.Attacks(gg, h) {
+						continue
+					}
+					if h == f {
+						continue // F → G → F is itself a 2-cycle
+					}
+					if !g.Attacks(f, h) && !g.Attacks(gg, f) {
+						t.Fatalf("Lemma 4.9 violated in %s: %s→%s→%s without %s→%s or %s→%s",
+							q, f, gg, h, f, h, gg, f)
+					}
+				}
+			}
+		}
+		// Consequence: cyclic implies a 2-cycle exists.
+		if !g.IsAcyclic() {
+			if _, _, ok := g.TwoCycle(); !ok {
+				t.Fatalf("cyclic weakly-guarded graph without a 2-cycle: %s", q)
+			}
+		}
+	}
+}
+
+// Lemma 6.10: substituting a constant for a variable never creates
+// attacks (edges of the substituted query inject into the original) and
+// preserves weak-guardedness.
+func TestLemma610(t *testing.T) {
+	rng := rand.New(rand.NewSource(610))
+	for _, q := range randomQueries(611, 100) {
+		vars := q.Vars().Sorted()
+		if len(vars) == 0 {
+			continue
+		}
+		x := vars[rng.Intn(len(vars))]
+		qc := q.Substitute(map[string]schema.Term{x: schema.Const("c·sub")})
+		if !qc.WeaklyGuarded() {
+			t.Fatalf("Lemma 6.10(2) violated: %s not weakly-guarded after [%s↦c]", qc, x)
+		}
+		g := attack.New(q)
+		gc := attack.New(qc)
+		for _, e := range gc.Edges() {
+			if !g.Attacks(e[0], e[1]) {
+				t.Fatalf("Lemma 6.10(1) violated in %s: edge %s→%s appears only after [%s↦c]",
+					q, e[0], e[1], x)
+			}
+		}
+	}
+}
+
+// The attack graph does not depend on the order of literals in the query.
+func TestAttackOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, q := range randomQueries(1235, 60) {
+		perm := rng.Perm(len(q.Lits))
+		shuffled := schema.Query{Lits: make([]schema.Literal, len(q.Lits))}
+		for i, j := range perm {
+			shuffled.Lits[i] = q.Lits[j]
+		}
+		g1, g2 := attack.New(q), attack.New(shuffled)
+		e1, e2 := g1.Edges(), g2.Edges()
+		set := make(map[[2]string]bool, len(e1))
+		for _, e := range e1 {
+			set[e] = true
+		}
+		if len(e1) != len(e2) {
+			t.Fatalf("edge count differs under permutation of %s", q)
+		}
+		for _, e := range e2 {
+			if !set[e] {
+				t.Fatalf("edge %v appears only under permutation of %s", e, q)
+			}
+		}
+	}
+}
+
+// Negated atoms never receive attacks on ground keys: an atom whose key
+// has no variables has in-degree 0.
+func TestGroundKeyUnattacked(t *testing.T) {
+	for _, q := range randomQueries(77, 80) {
+		g := attack.New(q)
+		for _, rel := range g.Atoms() {
+			a, _ := q.AtomByRel(rel)
+			if a.KeyVars().Empty() && g.InDegree(rel) != 0 {
+				t.Fatalf("%s: atom %s has ground key but in-degree %d", q, rel, g.InDegree(rel))
+			}
+		}
+	}
+}
+
+// Witness sequences returned by the graph are genuine witnesses: they
+// start in vars(F), end at the target, avoid F⊕, and consecutive
+// variables co-occur in a positive atom.
+func TestWitnessSoundness(t *testing.T) {
+	for _, q := range randomQueries(99, 80) {
+		g := attack.New(q)
+		for _, rel := range g.Atoms() {
+			a, _ := q.AtomByRel(rel)
+			oplus := g.Oplus(rel)
+			for w := range g.AttackedVars(rel) {
+				u, wit, ok := g.AttackVarWitness(rel, w)
+				if !ok {
+					t.Fatalf("%s: no witness for %s ⇝ %s", q, rel, w)
+				}
+				if !a.Vars().Has(u) {
+					t.Fatalf("%s: witness start %s not in vars(%s)", q, u, rel)
+				}
+				if wit[0] != u || wit[len(wit)-1] != w {
+					t.Fatalf("%s: witness %v has wrong endpoints", q, wit)
+				}
+				for _, v := range wit {
+					if oplus.Has(v) {
+						t.Fatalf("%s: witness %v enters %s⊕", q, wit, rel)
+					}
+				}
+				for i := 0; i+1 < len(wit); i++ {
+					cooccur := false
+					for _, p := range q.Positive() {
+						if p.Vars().Has(wit[i]) && p.Vars().Has(wit[i+1]) {
+							cooccur = true
+							break
+						}
+					}
+					if !cooccur {
+						t.Fatalf("%s: witness step %s–%s not covered by a positive atom", q, wit[i], wit[i+1])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/naive"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// Answer is one certain answer: a binding of the free variables.
+type Answer []string
+
+// CertainAnswers computes the certain answers of a non-Boolean query: the
+// tuples c⃗ over the active domain such that q[x⃗ ↦ c⃗] is true in every
+// repair of d. Free variables are treated as constants (Section 1 of the
+// paper, citing [19, §3.3]).
+//
+// When the frozen query has a consistent first-order rewriting, the
+// rewriting is constructed once and evaluated per candidate binding;
+// otherwise each candidate falls back to repair enumeration. Candidate
+// values for each free variable are drawn from the database columns in
+// which the variable occurs in positive atoms (certain answers cannot
+// bind free variables elsewhere). Answers are returned in sorted order.
+func CertainAnswers(q schema.Query, free []string, d *db.Database) ([]Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(free) == 0 {
+		return nil, fmt.Errorf("core: no free variables; use Certain for Boolean queries")
+	}
+	vars := q.Vars()
+	for _, x := range free {
+		if !vars.Has(x) {
+			return nil, fmt.Errorf("core: free variable %s does not occur in the query", x)
+		}
+	}
+
+	f, rewriteErr := rewrite.RewriteFree(q, free)
+
+	// Candidate pools per free variable.
+	pools := make([][]string, len(free))
+	for i, x := range free {
+		set := make(map[string]bool)
+		for _, p := range q.Positive() {
+			rel := d.Relation(p.Rel)
+			if rel == nil {
+				continue
+			}
+			for pos, t := range p.Terms {
+				if t.IsVar && t.Name == x {
+					for _, v := range rel.ColumnValues(pos) {
+						set[v] = true
+					}
+				}
+			}
+		}
+		pool := make([]string, 0, len(set))
+		for v := range set {
+			pool = append(pool, v)
+		}
+		sort.Strings(pool)
+		pools[i] = pool
+	}
+
+	var answers []Answer
+	binding := make([]string, len(free))
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(free) {
+			ok, err := checkBinding(q, free, binding, d, f, rewriteErr)
+			if err != nil {
+				return err
+			}
+			if ok {
+				answers = append(answers, append(Answer{}, binding...))
+			}
+			return nil
+		}
+		for _, v := range pools[i] {
+			binding[i] = v
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+func checkBinding(q schema.Query, free []string, binding []string, d *db.Database, f fo.Formula, rewriteErr error) (bool, error) {
+	if rewriteErr == nil {
+		env := make(map[string]string, len(free))
+		for i, x := range free {
+			env[x] = binding[i]
+		}
+		needs := false
+		for _, a := range q.Atoms() {
+			if d.Relation(a.Rel) == nil {
+				needs = true
+				break
+			}
+		}
+		dd := d
+		if needs {
+			dd = d.Clone()
+			for _, a := range q.Atoms() {
+				if dd.Relation(a.Rel) == nil {
+					dd.MustDeclare(a.Rel, a.Arity(), a.Key)
+				}
+			}
+		}
+		return fo.EvalWith(dd, f, env), nil
+	}
+	sub := make(map[string]schema.Term, len(free))
+	for i, x := range free {
+		sub[x] = schema.Const(binding[i])
+	}
+	return naive.IsCertain(q.Substitute(sub), d), nil
+}

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// q1 with x free becomes FO: the attack graph of the frozen query is
+// acyclic, so RewriteFree succeeds where Rewrite fails.
+func TestRewriteFreeChangesClassification(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if _, err := rewrite.Rewrite(q); err == nil {
+		t.Fatal("Boolean q1 must have no rewriting")
+	}
+	f, err := rewrite.RewriteFree(q, []string{"x"})
+	if err != nil {
+		t.Fatalf("q1(x) should be FO: %v", err)
+	}
+	if free := fo.FreeVars(f); !free.Equal(schema.NewVarSet("x")) {
+		t.Fatalf("free vars of rewriting = %v, want {x}", free)
+	}
+}
+
+func TestRewriteFreeErrors(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	if _, err := rewrite.RewriteFree(q, []string{"z"}); err == nil {
+		t.Error("unknown free variable should fail")
+	}
+	if _, err := rewrite.RewriteFree(q, []string{"x", "x"}); err == nil {
+		t.Error("duplicate free variable should fail")
+	}
+}
+
+func TestCertainAnswersBasic(t *testing.T) {
+	// Girls-boys: which girls g make q1[x↦g] certain? g is certain iff
+	// in every repair some R(g, b) has no S(b, g): i.e. the girl cannot
+	// be "mutually matched" in some repair.
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | John)
+		S(Bob | Alice)
+	`)
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	got, err := core.CertainAnswers(q, []string{"x"}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maria: only fact R(Maria|John), S(John|Maria) absent → certain.
+	// Alice: repair may choose R(Alice|Bob) with S(Bob|Alice) present →
+	// that repair falsifies → not certain.
+	want := []core.Answer{{"Maria"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestCertainAnswersTwoFreeVars(t *testing.T) {
+	d := parse.MustDatabase(`
+		Lives(ann | mons)
+		Lives(bob | mons)
+		Lives(bob | ghent)
+		Born(ann | mons)
+	`)
+	q := parse.MustQuery("Lives(p | t), !Born(p | t)")
+	got, err := core.CertainAnswers(q, []string{"p", "t"}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ann lives in mons in the unique Lives(ann|·) choice but Born(ann|mons)
+	// blocks it. bob: two Lives choices → no (bob, t) certain.
+	if len(got) != 0 {
+		t.Fatalf("answers = %v, want none", got)
+	}
+	d2 := parse.MustDatabase(`
+		Lives(ann | mons)
+		Born(ann | ghent)
+	`)
+	if err := parse.DeclareQueryRelations(d2, q); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := core.CertainAnswers(q, []string{"p", "t"}, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Answer{{"ann", "mons"}}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("answers = %v, want %v", got2, want)
+	}
+}
+
+func TestCertainAnswersErrors(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	if _, err := core.CertainAnswers(q, nil, db.New()); err == nil {
+		t.Error("no free variables should fail")
+	}
+	if _, err := core.CertainAnswers(q, []string{"nope"}, db.New()); err == nil {
+		t.Error("unknown free variable should fail")
+	}
+}
+
+// Property: CertainAnswers equals the brute-force definition on random
+// queries and databases, whether or not the frozen query is FO.
+func TestCertainAnswersAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	for trial := 0; trial < 40; trial++ {
+		q := gen.Query(rng, opts)
+		vars := q.PositiveVars().Sorted()
+		if len(vars) == 0 {
+			continue
+		}
+		x := vars[rng.Intn(len(vars))]
+		d := gen.Database(rng, q, dbOpts)
+		got, err := core.CertainAnswers(q, []string{x}, d)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		gotSet := make(map[string]bool, len(got))
+		for _, a := range got {
+			gotSet[a[0]] = true
+		}
+		// Brute force over the full active domain.
+		for _, c := range d.ActiveDomain() {
+			qc := q.Substitute(map[string]schema.Term{x: schema.Const(c)})
+			want := naive.IsCertain(qc, d)
+			if want != gotSet[c] {
+				t.Fatalf("%s, %s↦%s: CertainAnswers=%v, naive=%v\n%s",
+					q, x, c, gotSet[c], want, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cqa/internal/core"
+	"cqa/internal/parse"
+)
+
+func ExampleClassify() {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	cls, _ := core.Classify(q)
+	fmt.Println(cls.Verdict)
+	fmt.Println(cls.Rewriting)
+	// Output:
+	// FO
+	// ∃x∃z1(P(x, z1)) ∧ ∀z2(N('c', z2) → ∃x(∃z3(P(x, z3)) ∧ ∀z3(P(x, z3) → z3 ≠ z2)))
+}
+
+func ExampleClassify_hard() {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	cls, _ := core.Classify(q)
+	fmt.Println(cls.Verdict, cls.Hardness)
+	// Output:
+	// not-FO NL-hard
+}
+
+func ExampleCertain() {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	d := parse.MustDatabase(`
+		P(p1 | v1)
+		P(p2 | v2)
+		N(c | v1)
+	`)
+	parse.DeclareQueryRelations(d, q)
+	ans, _ := core.Certain(q, d, core.EngineAuto)
+	fmt.Println(ans)
+	// Output:
+	// true
+}
+
+func ExampleCertainAnswers() {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+	`)
+	answers, _ := core.CertainAnswers(q, []string{"x"}, d)
+	for _, a := range answers {
+		fmt.Println(a[0])
+	}
+	// Output:
+	// Maria
+}
+
+func ExampleReifiableVars() {
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	rv, _ := core.ReifiableVars(q)
+	fmt.Println(rv)
+	// Output:
+	// {x}
+}

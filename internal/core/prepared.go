@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"cqa/internal/db"
+	"cqa/internal/direct"
+	"cqa/internal/naive"
+	"cqa/internal/schema"
+)
+
+// Prepared is a query analysed once and evaluated many times: the
+// classification (attack graph, verdict) and, when available, the
+// consistent first-order rewriting are computed by Prepare and reused by
+// every Certain call. This is the intended API for serving workloads —
+// Classify+Certain per request would redo the query-complexity work,
+// which is exponential in the query size in the worst case (the rewriting
+// can be exponentially large) although polynomial per database.
+type Prepared struct {
+	cls *Classification
+}
+
+// Prepare validates and classifies q.
+func Prepare(q schema.Query) (*Prepared, error) {
+	cls, err := Classify(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{cls: cls}, nil
+}
+
+// Classification exposes the analysis result.
+func (p *Prepared) Classification() *Classification { return p.cls }
+
+// InFO reports whether CERTAINTY(q) is in FO (a rewriting is available).
+func (p *Prepared) InFO() bool { return p.cls.Verdict == VerdictFO }
+
+// Certain answers CERTAINTY(q) on d: via the precomputed rewriting when
+// the query is in FO, by repair enumeration otherwise.
+func (p *Prepared) Certain(d *db.Database) bool {
+	if p.InFO() {
+		return evalOn(d, p.cls.Query, p.cls.Rewriting)
+	}
+	return naive.IsCertain(p.cls.Query, d)
+}
+
+// CertainVia answers with an explicit engine, reusing the prepared
+// rewriting for EngineRewriting.
+func (p *Prepared) CertainVia(d *db.Database, engine Engine) (bool, error) {
+	switch engine {
+	case EngineAuto:
+		return p.Certain(d), nil
+	case EngineRewriting:
+		if !p.InFO() {
+			return false, ErrNoRewriting
+		}
+		return evalOn(d, p.cls.Query, p.cls.Rewriting), nil
+	case EngineDirect:
+		return direct.IsCertain(p.cls.Query, d)
+	case EngineNaive:
+		return naive.IsCertain(p.cls.Query, d), nil
+	default:
+		return false, fmt.Errorf("core: unknown engine %d", engine)
+	}
+}

@@ -1,0 +1,413 @@
+// Package db implements the (possibly inconsistent) database model of the
+// paper: a finite set of facts over relations with primary-key signatures
+// [n, k]. It provides blocks (maximal sets of key-equal facts), consistency
+// checking, repair enumeration and counting, and the column/key indexes
+// used by the first-order model checker.
+package db
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Fact is an R-fact: a relation name and constant arguments.
+type Fact struct {
+	Rel  string
+	Args []string
+}
+
+// F is shorthand for constructing a fact.
+func F(rel string, args ...string) Fact { return Fact{Rel: rel, Args: args} }
+
+// String renders the fact without signature information.
+func (f Fact) String() string {
+	return f.Rel + "(" + strings.Join(f.Args, ", ") + ")"
+}
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Rel != g.Rel || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const sep = "\x00"
+
+func tupleKey(args []string) string { return strings.Join(args, sep) }
+
+// Relation is the stored extension of one relation name together with its
+// signature.
+type Relation struct {
+	Name  string
+	Arity int
+	// Key is the number of leading primary-key positions.
+	Key int
+
+	facts  map[string]Fact   // full-tuple key -> fact
+	blocks map[string][]Fact // key-tuple key -> block, insertion order
+	// blockKeys preserves deterministic iteration order over blocks.
+	blockKeys []string
+	// colVals[i] is the set of distinct values in column i.
+	colVals []map[string]bool
+}
+
+func newRelation(name string, arity, key int) *Relation {
+	cols := make([]map[string]bool, arity)
+	for i := range cols {
+		cols[i] = make(map[string]bool)
+	}
+	return &Relation{
+		Name:  name,
+		Arity: arity,
+		Key:   key,
+		facts: make(map[string]Fact), blocks: make(map[string][]Fact),
+		colVals: cols,
+	}
+}
+
+// Size returns the number of facts stored.
+func (r *Relation) Size() int { return len(r.facts) }
+
+// NumBlocks returns the number of blocks.
+func (r *Relation) NumBlocks() int { return len(r.blocks) }
+
+// AllKey reports whether the relation's signature is all-key.
+func (r *Relation) AllKey() bool { return r.Key == r.Arity }
+
+// ColumnValues returns the distinct values in column i (0-based), sorted.
+func (r *Relation) ColumnValues(i int) []string {
+	out := make([]string, 0, len(r.colVals[i]))
+	for v := range r.colVals[i] {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Database is a finite set of facts over a fixed set of relations.
+type Database struct {
+	rels map[string]*Relation
+	// relNames preserves deterministic iteration order.
+	relNames []string
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// DeclareRelation registers a relation name with signature [arity, key].
+// It is idempotent for matching signatures and returns an error on a
+// signature clash.
+func (d *Database) DeclareRelation(name string, arity, key int) error {
+	if arity < 1 || key < 1 || key > arity {
+		return fmt.Errorf("db: invalid signature [%d, %d] for %s", arity, key, name)
+	}
+	if r, ok := d.rels[name]; ok {
+		if r.Arity != arity || r.Key != key {
+			return fmt.Errorf("db: relation %s redeclared with signature [%d, %d] (was [%d, %d])",
+				name, arity, key, r.Arity, r.Key)
+		}
+		return nil
+	}
+	d.rels[name] = newRelation(name, arity, key)
+	d.relNames = append(d.relNames, name)
+	sort.Strings(d.relNames)
+	return nil
+}
+
+// Relation returns the stored relation for the name, or nil if absent.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// RelationNames returns the declared relation names in sorted order.
+func (d *Database) RelationNames() []string {
+	out := make([]string, len(d.relNames))
+	copy(out, d.relNames)
+	return out
+}
+
+// Insert adds a fact. The relation must have been declared and the arity
+// must match. Inserting a duplicate fact is a no-op.
+func (d *Database) Insert(f Fact) error {
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return fmt.Errorf("db: relation %s not declared", f.Rel)
+	}
+	if len(f.Args) != r.Arity {
+		return fmt.Errorf("db: fact %s has arity %d, relation %s has arity %d",
+			f, len(f.Args), f.Rel, r.Arity)
+	}
+	tk := tupleKey(f.Args)
+	if _, dup := r.facts[tk]; dup {
+		return nil
+	}
+	r.facts[tk] = f
+	bk := tupleKey(f.Args[:r.Key])
+	if _, seen := r.blocks[bk]; !seen {
+		r.blockKeys = append(r.blockKeys, bk)
+	}
+	r.blocks[bk] = append(r.blocks[bk], f)
+	for i, v := range f.Args {
+		r.colVals[i][v] = true
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and literals.
+func (d *Database) MustInsert(f Fact) {
+	if err := d.Insert(f); err != nil {
+		panic(err)
+	}
+}
+
+// MustDeclare declares and panics on error; for tests and literals.
+func (d *Database) MustDeclare(name string, arity, key int) {
+	if err := d.DeclareRelation(name, arity, key); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether the fact is in the database. Unknown relations
+// report false.
+func (d *Database) Has(f Fact) bool {
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return false
+	}
+	_, found := r.facts[tupleKey(f.Args)]
+	return found
+}
+
+// Facts returns all facts of the relation in deterministic (sorted) order.
+func (d *Database) Facts(rel string) []Fact {
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	keys := make([]string, 0, len(r.facts))
+	for k := range r.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Fact, len(keys))
+	for i, k := range keys {
+		out[i] = r.facts[k]
+	}
+	return out
+}
+
+// AllFacts returns every fact in the database in deterministic order.
+func (d *Database) AllFacts() []Fact {
+	var out []Fact
+	for _, name := range d.relNames {
+		out = append(out, d.Facts(name)...)
+	}
+	return out
+}
+
+// Size returns the total number of facts.
+func (d *Database) Size() int {
+	n := 0
+	for _, r := range d.rels {
+		n += len(r.facts)
+	}
+	return n
+}
+
+// Block returns the block of facts key-equal to the given key values, in
+// insertion order.
+func (d *Database) Block(rel string, keyArgs []string) []Fact {
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.blocks[tupleKey(keyArgs)]
+}
+
+// Blocks calls fn for every block of the relation in insertion order,
+// stopping early if fn returns false.
+func (d *Database) Blocks(rel string, fn func(block []Fact) bool) {
+	r, ok := d.rels[rel]
+	if !ok {
+		return
+	}
+	for _, bk := range r.blockKeys {
+		if !fn(r.blocks[bk]) {
+			return
+		}
+	}
+}
+
+// IsConsistent reports whether every block is a singleton.
+func (d *Database) IsConsistent() bool {
+	for _, r := range d.rels {
+		for _, b := range r.blocks {
+			if len(b) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ActiveDomain returns the sorted set of constants occurring in the
+// database.
+func (d *Database) ActiveDomain() []string {
+	set := make(map[string]bool)
+	for _, r := range d.rels {
+		for _, col := range r.colVals {
+			for v := range col {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	c := New()
+	for _, name := range d.relNames {
+		r := d.rels[name]
+		c.MustDeclare(name, r.Arity, r.Key)
+		for _, f := range r.facts {
+			c.MustInsert(f)
+		}
+	}
+	return c
+}
+
+// NumRepairs returns the number of repairs (the product of all block
+// sizes) as a float64; it may overflow to +Inf for adversarial inputs.
+func (d *Database) NumRepairs() float64 {
+	n := 1.0
+	for _, r := range d.rels {
+		for _, b := range r.blocks {
+			n *= float64(len(b))
+			if math.IsInf(n, 1) {
+				return n
+			}
+		}
+	}
+	return n
+}
+
+// Repairs enumerates the repairs of the database restricted to the given
+// relation names (nil means all relations). For every repair it calls fn;
+// enumeration stops early when fn returns false. Restricting to the
+// relations a query mentions is sound for CERTAINTY because a repair's
+// content on other relations cannot affect the query.
+func (d *Database) Repairs(rels []string, fn func(repair *Database) bool) {
+	if rels == nil {
+		rels = d.relNames
+	}
+	// Gather blocks of the restricted relations.
+	type blockRef struct {
+		rel   string
+		facts []Fact
+	}
+	var blocks []blockRef
+	repair := New()
+	for _, name := range rels {
+		r, ok := d.rels[name]
+		if !ok {
+			continue
+		}
+		repair.MustDeclare(name, r.Arity, r.Key)
+		for _, bk := range r.blockKeys {
+			blocks = append(blocks, blockRef{rel: name, facts: r.blocks[bk]})
+		}
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(blocks) {
+			return fn(repair)
+		}
+		b := blocks[i]
+		for _, f := range b.facts {
+			repair.MustInsert(f)
+			cont := rec(i + 1)
+			repair.remove(f)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Remove deletes a fact if present. Column value indexes are left stale
+// on purpose (they are monotone hints used only to bound quantifier
+// ranges, so stale entries are harmless); Has, Facts, Block, and repair
+// enumeration are exact.
+func (d *Database) Remove(f Fact) { d.remove(f) }
+
+// remove deletes a fact; internal support for repair enumeration.
+func (d *Database) remove(f Fact) {
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return
+	}
+	tk := tupleKey(f.Args)
+	if _, found := r.facts[tk]; !found {
+		return
+	}
+	delete(r.facts, tk)
+	bk := tupleKey(f.Args[:r.Key])
+	b := r.blocks[bk]
+	for i := range b {
+		if b[i].Equal(f) {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(r.blocks, bk)
+		for i, k := range r.blockKeys {
+			if k == bk {
+				r.blockKeys = append(r.blockKeys[:i], r.blockKeys[i+1:]...)
+				break
+			}
+		}
+	} else {
+		r.blocks[bk] = b
+	}
+}
+
+// String renders the database as fact lines grouped by relation.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, name := range d.relNames {
+		for _, f := range d.Facts(name) {
+			r := d.rels[name]
+			b.WriteString(name)
+			b.WriteByte('(')
+			for i, a := range f.Args {
+				if i > 0 {
+					if i == r.Key {
+						b.WriteString(" | ")
+					} else {
+						b.WriteString(", ")
+					}
+				}
+				b.WriteString(a)
+			}
+			b.WriteString(")\n")
+		}
+	}
+	return b.String()
+}

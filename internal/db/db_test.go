@@ -1,0 +1,261 @@
+package db_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqa/internal/db"
+)
+
+func girlsBoys(t *testing.T) *db.Database {
+	t.Helper()
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 2, 1)
+	// Figure 1 of the paper.
+	for _, f := range []db.Fact{
+		db.F("R", "Alice", "Bob"), db.F("R", "Alice", "George"),
+		db.F("R", "Maria", "Bob"), db.F("R", "Maria", "John"),
+		db.F("S", "Bob", "Alice"), db.F("S", "Bob", "Maria"),
+		db.F("S", "George", "Alice"), db.F("S", "George", "Maria"),
+	} {
+		d.MustInsert(f)
+	}
+	return d
+}
+
+func TestFigure1Blocks(t *testing.T) {
+	d := girlsBoys(t)
+	if d.Size() != 8 {
+		t.Fatalf("size = %d, want 8", d.Size())
+	}
+	if d.IsConsistent() {
+		t.Fatal("Figure 1 database should be inconsistent")
+	}
+	if got := len(d.Block("R", []string{"Alice"})); got != 2 {
+		t.Errorf("Alice block = %d facts, want 2", got)
+	}
+	if got := d.NumRepairs(); got != 16 {
+		t.Errorf("repairs = %v, want 2^4 = 16", got)
+	}
+}
+
+func TestRepairEnumeration(t *testing.T) {
+	d := girlsBoys(t)
+	count := 0
+	seen := make(map[string]bool)
+	d.Repairs(nil, func(r *db.Database) bool {
+		count++
+		if !r.IsConsistent() {
+			t.Fatal("repair is inconsistent")
+		}
+		if r.Size() != 4 {
+			t.Fatalf("repair size = %d, want 4 (one per block)", r.Size())
+		}
+		key := r.String()
+		if seen[key] {
+			t.Fatal("duplicate repair enumerated")
+		}
+		seen[key] = true
+		return true
+	})
+	if count != 16 {
+		t.Fatalf("enumerated %d repairs, want 16", count)
+	}
+}
+
+func TestRepairEarlyStop(t *testing.T) {
+	d := girlsBoys(t)
+	count := 0
+	d.Repairs(nil, func(r *db.Database) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop failed: %d callbacks", count)
+	}
+}
+
+func TestRepairsRestrictedRelations(t *testing.T) {
+	d := girlsBoys(t)
+	count := 0
+	d.Repairs([]string{"R"}, func(r *db.Database) bool {
+		count++
+		if len(r.Facts("S")) != 0 {
+			t.Fatal("restricted repair contains S-facts")
+		}
+		return true
+	})
+	if count != 4 {
+		t.Fatalf("R-only repairs = %d, want 4", count)
+	}
+}
+
+func TestInsertDuplicateIsNoop(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustInsert(db.F("R", "a", "b"))
+	d.MustInsert(db.F("R", "a", "b"))
+	if d.Size() != 1 {
+		t.Fatalf("size = %d after duplicate insert", d.Size())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d := db.New()
+	if err := d.Insert(db.F("R", "a")); err == nil {
+		t.Error("insert into undeclared relation should fail")
+	}
+	d.MustDeclare("R", 2, 1)
+	if err := d.Insert(db.F("R", "a")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestDeclareClash(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	if err := d.DeclareRelation("R", 2, 1); err != nil {
+		t.Errorf("idempotent declare failed: %v", err)
+	}
+	if err := d.DeclareRelation("R", 2, 2); err == nil {
+		t.Error("signature clash should fail")
+	}
+	if err := d.DeclareRelation("X", 0, 0); err == nil {
+		t.Error("invalid signature should fail")
+	}
+}
+
+func TestHasAndFactsOrder(t *testing.T) {
+	d := girlsBoys(t)
+	if !d.Has(db.F("R", "Alice", "Bob")) {
+		t.Error("Has missed a present fact")
+	}
+	if d.Has(db.F("R", "Alice", "John")) {
+		t.Error("Has found a ghost")
+	}
+	if d.Has(db.F("Q", "a")) {
+		t.Error("Has on unknown relation should be false")
+	}
+	facts := d.Facts("R")
+	for i := 1; i < len(facts); i++ {
+		if facts[i-1].String() > facts[i].String() {
+			t.Fatal("Facts not sorted")
+		}
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	d := girlsBoys(t)
+	dom := d.ActiveDomain()
+	want := []string{"Alice", "Bob", "George", "John", "Maria"}
+	if len(dom) != len(want) {
+		t.Fatalf("active domain = %v", dom)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("active domain = %v, want %v", dom, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := girlsBoys(t)
+	c := d.Clone()
+	c.MustInsert(db.F("R", "Zoe", "Bob"))
+	if d.Has(db.F("R", "Zoe", "Bob")) {
+		t.Error("Clone shares storage")
+	}
+	if c.Size() != d.Size()+1 {
+		t.Error("Clone lost facts")
+	}
+}
+
+func TestColumnValues(t *testing.T) {
+	d := girlsBoys(t)
+	r := d.Relation("R")
+	col0 := r.ColumnValues(0)
+	if len(col0) != 2 || col0[0] != "Alice" || col0[1] != "Maria" {
+		t.Errorf("column 0 = %v", col0)
+	}
+	if got := r.NumBlocks(); got != 2 {
+		t.Errorf("blocks = %d", got)
+	}
+}
+
+func TestBlocksIteration(t *testing.T) {
+	d := girlsBoys(t)
+	total := 0
+	d.Blocks("R", func(b []db.Fact) bool {
+		total += len(b)
+		return true
+	})
+	if total != 4 {
+		t.Errorf("facts via blocks = %d, want 4", total)
+	}
+	// Early stop.
+	n := 0
+	d.Blocks("R", func(b []db.Fact) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d blocks", n)
+	}
+}
+
+// Property: the number of enumerated repairs equals the product of block
+// sizes, and every repair picks exactly one fact per block.
+func TestRepairCountProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 1, 1)
+		keys := []string{"k1", "k2", "k3"}
+		vals := []string{"v1", "v2", "v3"}
+		for i := 0; i < 6; i++ {
+			d.MustInsert(db.F("R", keys[rng.Intn(3)], vals[rng.Intn(3)]))
+		}
+		d.MustInsert(db.F("S", "s"))
+		want := d.NumRepairs()
+		got := 0
+		d.Repairs(nil, func(r *db.Database) bool {
+			got++
+			return true
+		})
+		return float64(got) == want
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// The enumeration callback's database must not leak mutations across
+// iterations: after enumeration the original database is intact.
+func TestRepairsDoNotMutateOriginal(t *testing.T) {
+	d := girlsBoys(t)
+	before := d.String()
+	d.Repairs(nil, func(r *db.Database) bool { return true })
+	if d.String() != before {
+		t.Error("Repairs mutated the original database")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 3, 2)
+	d.MustInsert(db.F("R", "a", "b", "c"))
+	if got := d.String(); got != "R(a, b | c)\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRelationNames(t *testing.T) {
+	d := girlsBoys(t)
+	names := d.RelationNames()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -1,0 +1,62 @@
+package db
+
+import (
+	"fmt"
+
+	"cqa/internal/schema"
+)
+
+// TypeTransform implements the Section 3 remark: because q is
+// self-join-free, any database can be transformed into one that is typed
+// relative to q without changing the CERTAINTY answer. For every relation
+// of q and every position:
+//
+//   - a position holding variable x maps value a to the typed constant
+//     "x·a" — positions sharing a variable share a type, so joins are
+//     preserved, and distinct variables get disjoint types;
+//   - a position holding constant c keeps the value c and prefixes every
+//     other value with "≁" so that it can never accidentally equal c (or
+//     any typed constant).
+//
+// The per-position maps are injective, so blocks, consistency, and repair
+// structure are preserved exactly. Relations not mentioned by q are
+// dropped (they cannot influence the answer).
+func TypeTransform(q schema.Query, d *Database) (*Database, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := New()
+	for _, atom := range q.Atoms() {
+		if err := out.DeclareRelation(atom.Rel, atom.Arity(), atom.Key); err != nil {
+			return nil, err
+		}
+		rel := d.Relation(atom.Rel)
+		if rel == nil {
+			continue
+		}
+		if rel.Arity != atom.Arity() || rel.Key != atom.Key {
+			return nil, fmt.Errorf("db: relation %s has signature [%d, %d] in the database but [%d, %d] in the query",
+				atom.Rel, rel.Arity, rel.Key, atom.Arity(), atom.Key)
+		}
+		for _, f := range d.Facts(atom.Rel) {
+			args := make([]string, len(f.Args))
+			for i, v := range f.Args {
+				args[i] = typedValue(atom.Terms[i], v)
+			}
+			if err := out.Insert(Fact{Rel: atom.Rel, Args: args}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func typedValue(term schema.Term, v string) string {
+	if term.IsVar {
+		return term.Name + "·" + v
+	}
+	if v == term.Name {
+		return v
+	}
+	return "≁" + v
+}

@@ -1,0 +1,102 @@
+package db_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+)
+
+func TestTypeTransformShape(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !N('c' | y)")
+	d := parse.MustDatabase(`
+		R(a | 1)
+		N(c | 1)
+		N(d | 1)
+		Junk(zz | zz)
+	`)
+	td, err := db.TypeTransform(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Relation("Junk") != nil {
+		t.Error("relations outside q must be dropped")
+	}
+	if !td.Has(db.F("R", "x·a", "y·1")) {
+		t.Errorf("typed R fact missing:\n%s", td)
+	}
+	if !td.Has(db.F("N", "c", "y·1")) {
+		t.Errorf("matching constant should be kept:\n%s", td)
+	}
+	if !td.Has(db.F("N", "≁d", "y·1")) {
+		t.Errorf("non-matching constant should be marked:\n%s", td)
+	}
+	// Typedness: every value in a variable position carries its type.
+	for _, f := range td.Facts("R") {
+		if !strings.HasPrefix(f.Args[0], "x·") || !strings.HasPrefix(f.Args[1], "y·") {
+			t.Errorf("fact %v not typed", f)
+		}
+	}
+}
+
+func TestTypeTransformSignatureClash(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	d := db.New()
+	d.MustDeclare("R", 2, 2)
+	if _, err := db.TypeTransform(q, d); err == nil {
+		t.Error("signature clash should fail")
+	}
+}
+
+// The Section 3 claim: the transformation preserves the CERTAINTY answer.
+// Checked on random messy (untyped, value-sharing) databases.
+func TestTypeTransformPreservesCertainty(t *testing.T) {
+	queries := []string{
+		"R(x | y), !S(y | x)",
+		"R(x | y), !N('c' | y)",
+		"R(x | y), S(y | z)",
+		"R(x | x, y), !S(x | y)",
+	}
+	rng := rand.New(rand.NewSource(33))
+	vals := []string{"a", "b", "c"} // deliberately shared across columns
+	for _, src := range queries {
+		q := parse.MustQuery(src)
+		for trial := 0; trial < 80; trial++ {
+			d := db.New()
+			for _, a := range q.Atoms() {
+				d.MustDeclare(a.Rel, a.Arity(), a.Key)
+				for i := 0; i < 4; i++ {
+					if rng.Intn(2) == 0 {
+						args := make([]string, a.Arity())
+						for j := range args {
+							args[j] = vals[rng.Intn(len(vals))]
+						}
+						d.MustInsert(db.Fact{Rel: a.Rel, Args: args})
+					}
+				}
+			}
+			td, err := db.TypeTransform(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive.IsCertain(q, d) != naive.IsCertain(q, td) {
+				t.Fatalf("%s: transformation changed the answer\noriginal:\n%s\ntyped:\n%s", src, d, td)
+			}
+			// Block structure is preserved relation by relation.
+			for _, a := range q.Atoms() {
+				if d.Relation(a.Rel) == nil {
+					continue
+				}
+				if d.Relation(a.Rel).NumBlocks() != td.Relation(a.Rel).NumBlocks() {
+					t.Fatalf("%s: block count changed for %s", src, a.Rel)
+				}
+				if len(d.Facts(a.Rel)) != len(td.Facts(a.Rel)) {
+					t.Fatalf("%s: fact count changed for %s", src, a.Rel)
+				}
+			}
+		}
+	}
+}

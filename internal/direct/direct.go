@@ -1,0 +1,295 @@
+// Package direct implements Algorithm 1 of the paper (IsCertain): a
+// recursive decision procedure for CERTAINTY(q) that works directly on the
+// database instead of first building a first-order rewriting. It applies
+// to weakly-guarded queries with acyclic attack graphs, has polynomial
+// data complexity for a fixed query, and serves as an engine independent
+// of internal/rewrite for cross-validation.
+package direct
+
+import (
+	"errors"
+	"fmt"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/schema"
+)
+
+// ErrNotWeaklyGuarded reports that the query is outside Theorem 4.3.
+var ErrNotWeaklyGuarded = errors.New("direct: negation is not weakly-guarded")
+
+// ErrCyclic reports a cyclic attack graph, for which Algorithm 1 does not
+// apply (CERTAINTY(q) is then not in FO by Theorem 4.3).
+var ErrCyclic = errors.New("direct: attack graph is cyclic")
+
+// IsCertain reports whether q is true in every repair of d, by the
+// recursion of Algorithm 1. It fails when q is invalid, not
+// weakly-guarded, or has a cyclic attack graph.
+func IsCertain(q schema.Query, d *db.Database) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	if !q.WeaklyGuarded() {
+		return false, ErrNotWeaklyGuarded
+	}
+	if !attack.New(q).IsAcyclic() {
+		return false, ErrCyclic
+	}
+	return isCertain(schema.Ext(q), d, nil), nil
+}
+
+// TraceFunc receives one line per step of the Algorithm 1 recursion;
+// depth is the recursion depth (for indentation).
+type TraceFunc func(depth int, msg string)
+
+// IsCertainTraced is IsCertain with a step-by-step derivation trace, for
+// the `cqa explain` command and for debugging.
+func IsCertainTraced(q schema.Query, d *db.Database, trace TraceFunc) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	if !q.WeaklyGuarded() {
+		return false, ErrNotWeaklyGuarded
+	}
+	if !attack.New(q).IsAcyclic() {
+		return false, ErrCyclic
+	}
+	t := &tracer{fn: trace}
+	return isCertain(schema.Ext(q), d, t), nil
+}
+
+// tracer carries the trace callback and the current depth; a nil tracer
+// (or nil callback) is silent.
+type tracer struct {
+	fn    TraceFunc
+	depth int
+}
+
+func (t *tracer) logf(format string, args ...any) {
+	if t == nil || t.fn == nil {
+		return
+	}
+	t.fn(t.depth, fmt.Sprintf(format, args...))
+}
+
+func (t *tracer) deeper() *tracer {
+	if t == nil || t.fn == nil {
+		return t
+	}
+	return &tracer{fn: t.fn, depth: t.depth + 1}
+}
+
+func isCertain(e schema.ExtQuery, d *db.Database, t *tracer) bool {
+	f, negated, ok := pick(e.Query)
+	if !ok {
+		// Every atom is all-key: the database restricted to the query's
+		// relations is consistent and is its own unique repair.
+		sat := naive.Sat(e, d)
+		t.logf("base case: all atoms all-key; satisfaction of {%s} = %v", e, sat)
+		return sat
+	}
+	t.logf("query {%s}: pick unattacked atom %s%s", e, negMark(negated), f)
+
+	keyVars := distinctVars(f.KeyTerms())
+	if len(keyVars) > 0 {
+		// Reification (Corollary 6.9): key(F) is unattacked, so q is
+		// certain iff q[x⃗ ↦ c⃗] is certain for some constants c⃗. All
+		// useful candidates appear in the columns where the variables
+		// occur in positive atoms (safety guarantees there is one).
+		t.logf("reify key(%s) = %v (Corollary 6.9)", f.Rel, keyVars)
+		return reify(e, d, keyVars, 0, make(map[string]schema.Term), t)
+	}
+
+	if negated {
+		return negatedCase(e, f, d, t)
+	}
+	return positiveCase(e, f, d, t)
+}
+
+func negMark(neg bool) string {
+	if neg {
+		return "¬"
+	}
+	return ""
+}
+
+// pick selects an unattacked non-all-key atom, as in Algorithm 1.
+func pick(q schema.Query) (f schema.Atom, negated, ok bool) {
+	any := false
+	for _, l := range q.Lits {
+		if !l.Atom.AllKey() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return schema.Atom{}, false, false
+	}
+	g := attack.New(q)
+	for _, rel := range g.Atoms() {
+		a, _ := q.AtomByRel(rel)
+		if a.AllKey() {
+			continue
+		}
+		if g.InDegree(rel) == 0 {
+			return a, q.IsNegated(rel), true
+		}
+	}
+	panic(fmt.Sprintf("direct: no unattacked non-all-key atom in %s", q))
+}
+
+// reify binds keyVars[i:] to candidate constants and recurses; true when
+// some full binding makes the instantiated query certain.
+func reify(e schema.ExtQuery, d *db.Database, keyVars []string, i int, sub map[string]schema.Term, t *tracer) bool {
+	if i == len(keyVars) {
+		t.logf("try reification %v", sub)
+		return isCertain(e.Substitute(sub), d, t.deeper())
+	}
+	x := keyVars[i]
+	for _, c := range candidateValues(e.Query, d, x) {
+		sub[x] = schema.Const(c)
+		if reify(e, d, keyVars, i+1, sub, t) {
+			delete(sub, x)
+			return true
+		}
+	}
+	delete(sub, x)
+	return false
+}
+
+// candidateValues returns the constants that can instantiate x: the union
+// of the column values at positions where x occurs in positive atoms. A
+// certainty witness valuation maps every variable into such a column, so
+// the restriction is sound.
+func candidateValues(q schema.Query, d *db.Database, x string) []string {
+	set := make(map[string]bool)
+	for _, p := range q.Positive() {
+		r := d.Relation(p.Rel)
+		if r == nil {
+			continue
+		}
+		for pos, t := range p.Terms {
+			if t.IsVar && t.Name == x {
+				for _, v := range r.ColumnValues(pos) {
+					set[v] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}
+
+// positiveCase handles a positive F with ground key: F's block must be
+// non-empty and every fact of the block must match F's non-key pattern and
+// certify the remaining query.
+func positiveCase(e schema.ExtQuery, f schema.Atom, d *db.Database, t *tracer) bool {
+	block := d.Block(f.Rel, groundArgs(f.KeyTerms()))
+	t.logf("positive %s with ground key: block has %d fact(s)", f, len(block))
+	if len(block) == 0 {
+		t.logf("block empty: not certain")
+		return false
+	}
+	rest := schema.ExtQuery{Query: e.Query.Without(f.Rel), Diseqs: e.Diseqs}
+	for _, a := range block {
+		sub, ok := matchNonKey(f, a)
+		if !ok {
+			t.logf("fact %s does not match the pattern of %s: not certain", a, f)
+			return false
+		}
+		t.logf("fact %s: check the rest under %v", a, sub)
+		if !isCertain(rest.Substitute(sub), d, t.deeper()) {
+			return false
+		}
+	}
+	return true
+}
+
+// negatedCase handles a negated F with ground key, per Lemmas 6.2 and 6.5:
+// the remaining query must be certain, and for every matching fact in F's
+// block the remaining query with the corresponding disequality must be
+// certain (when F has no non-key variables, a matching fact simply makes
+// the query uncertain).
+func negatedCase(e schema.ExtQuery, f schema.Atom, d *db.Database, t *tracer) bool {
+	rest := schema.ExtQuery{Query: e.Query.Without(f.Rel), Diseqs: e.Diseqs}
+	t.logf("negated ¬%s with ground key: first check q without it (Lemma 6.5)", f)
+	if !isCertain(rest, d, t.deeper()) {
+		return false
+	}
+	yVars := distinctVars(f.NonKeyTerms())
+	block := d.Block(f.Rel, groundArgs(f.KeyTerms()))
+	t.logf("block of %s has %d fact(s)", f, len(block))
+	for _, a := range block {
+		sub, ok := matchNonKey(f, a)
+		if !ok {
+			continue // the fact does not instantiate F
+		}
+		if len(yVars) == 0 {
+			// F ∈ db: Lemma 6.2 makes the query uncertain.
+			t.logf("ground negated fact %s present (Lemma 6.2): not certain", a)
+			return false
+		}
+		left := make([]schema.Term, len(yVars))
+		right := make([]schema.Term, len(yVars))
+		for i, y := range yVars {
+			left[i] = schema.Var(y)
+			right[i] = sub[y]
+		}
+		t.logf("fact %s: check the rest with disequality %s", a, schema.NewDiseq(left, right))
+		if !isCertain(rest.WithDiseq(schema.NewDiseq(left, right)), d, t.deeper()) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchNonKey unifies F's non-key pattern with the fact's non-key
+// arguments; it returns the variable binding, or ok=false when a constant
+// position or a repeated variable disagrees.
+func matchNonKey(f schema.Atom, a db.Fact) (map[string]schema.Term, bool) {
+	sub := make(map[string]schema.Term)
+	for i, t := range f.NonKeyTerms() {
+		v := a.Args[f.Key+i]
+		if !t.IsVar {
+			if t.Name != v {
+				return nil, false
+			}
+			continue
+		}
+		if prev, seen := sub[t.Name]; seen {
+			if prev.Name != v {
+				return nil, false
+			}
+			continue
+		}
+		sub[t.Name] = schema.Const(v)
+	}
+	return sub, true
+}
+
+func groundArgs(ts []schema.Term) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		if t.IsVar {
+			panic(fmt.Sprintf("direct: variable %s in supposedly ground key", t.Name))
+		}
+		out[i] = t.Name
+	}
+	return out
+}
+
+func distinctVars(ts []schema.Term) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		if t.IsVar && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package direct_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/direct"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func mustCertain(t *testing.T, q schema.Query, d *db.Database) bool {
+	t.Helper()
+	got, err := direct.IsCertain(q, d)
+	if err != nil {
+		t.Fatalf("direct(%s): %v", q, err)
+	}
+	return got
+}
+
+func TestRejectsCyclic(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if _, err := direct.IsCertain(q, db.New()); err != direct.ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestRejectsNotWeaklyGuarded(t *testing.T) {
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	if _, err := direct.IsCertain(q, db.New()); err != direct.ErrNotWeaklyGuarded {
+		t.Fatalf("err = %v, want ErrNotWeaklyGuarded", err)
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	q := schema.NewQuery(
+		schema.Pos(schema.NewAtom("R", 1, schema.Var("x"))),
+		schema.Neg(schema.NewAtom("N", 1, schema.Var("z"))),
+	)
+	if _, err := direct.IsCertain(q, db.New()); err == nil {
+		t.Fatal("unsafe query should be rejected")
+	}
+}
+
+func TestExample45EndToEnd(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	// The rewriting semantics: P non-empty, and for every N(c, a) there
+	// is a P-block avoiding a.
+	d := parse.MustDatabase(`
+		P(p1 | v1)
+		P(p2 | v2)
+		N(c | v1)
+	`)
+	if !mustCertain(t, q, d) {
+		t.Error("block p2 avoids v1; certainty should hold")
+	}
+	d2 := parse.MustDatabase(`
+		P(p1 | v1)
+		N(c | v1)
+	`)
+	if mustCertain(t, q, d2) {
+		t.Error("the only P-block holds v1; not certain")
+	}
+	// Inconsistent P-block: P(p1|v1), P(p1|v2): block p1 contains v1 in
+	// one repair but not the other; the rewriting needs a single block
+	// avoiding v1 in all its facts... here block p1 has a fact with v1,
+	// so it does not qualify; still certain? No: the repair {P(p1|v1)}
+	// together with N(c|v1) falsifies q.
+	d3 := parse.MustDatabase(`
+		P(p1 | v1)
+		P(p1 | v2)
+		N(c | v1)
+	`)
+	want := naive.IsCertain(q, d3)
+	if got := mustCertain(t, q, d3); got != want {
+		t.Errorf("direct = %v, naive = %v", got, want)
+	}
+}
+
+// Randomized agreement with the naive engine over generated acyclic
+// weakly-guarded queries and typed databases.
+func TestRandomAgreementWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	tested := 0
+	for tested < 60 {
+		q := gen.Query(rng, opts)
+		if _, err := direct.IsCertain(q, db.New()); err != nil {
+			continue // cyclic or otherwise out of scope for Algorithm 1
+		}
+		tested++
+		for i := 0; i < 3; i++ {
+			d := gen.Database(rng, q, dbOpts)
+			want := naive.IsCertain(q, d)
+			if got := mustCertain(t, q, d); got != want {
+				t.Fatalf("direct = %v, naive = %v\nquery %s\ndb:\n%s", got, want, q, d)
+			}
+		}
+	}
+}
+
+func TestAllKeyBaseCase(t *testing.T) {
+	q := parse.MustQuery("A(x, y), !B(x, y)")
+	d := parse.MustDatabase("A(1, 2)")
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Fatal(err)
+	}
+	if !mustCertain(t, q, d) {
+		t.Error("all-key query over consistent data should reduce to satisfaction")
+	}
+	d.MustInsert(db.F("B", "1", "2"))
+	if mustCertain(t, q, d) {
+		t.Error("B(1,2) blocks the only valuation")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	d := db.New()
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Fatal(err)
+	}
+	if mustCertain(t, q, d) {
+		t.Error("empty database cannot satisfy the positive part")
+	}
+}

@@ -1,0 +1,56 @@
+package direct_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/direct"
+	"cqa/internal/parse"
+)
+
+func TestIsCertainTraced(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	d := parse.MustDatabase(`
+		P(p1 | v1)
+		P(p2 | v2)
+		N(c | v1)
+	`)
+	var lines []string
+	maxDepth := 0
+	got, err := direct.IsCertainTraced(q, d, func(depth int, msg string) {
+		lines = append(lines, msg)
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("query should be certain (block p2 avoids v1)")
+	}
+	if len(lines) == 0 || maxDepth == 0 {
+		t.Fatal("trace should have nested steps")
+	}
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{"Lemma 6.5", "Corollary 6.9", "reif", "base case"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("trace lacks %q:\n%s", frag, joined)
+		}
+	}
+	// The traced result must equal the untraced one.
+	plain, err := direct.IsCertain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != got {
+		t.Error("traced and untraced answers differ")
+	}
+}
+
+func TestIsCertainTracedErrors(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if _, err := direct.IsCertainTraced(q, parse.MustDatabase(""), nil); err != direct.ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}

@@ -1,0 +1,117 @@
+package fd_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqa/internal/fd"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func TestClosureBasic(t *testing.T) {
+	fds := []fd.FD{
+		{From: schema.NewVarSet("x"), To: schema.NewVarSet("x", "y")},
+		{From: schema.NewVarSet("y"), To: schema.NewVarSet("y", "z")},
+	}
+	got := fd.Closure(fds, schema.NewVarSet("x"))
+	if !got.Equal(schema.NewVarSet("x", "y", "z")) {
+		t.Errorf("closure = %v", got)
+	}
+}
+
+func TestClosureDoesNotFireWithoutPremise(t *testing.T) {
+	fds := []fd.FD{{From: schema.NewVarSet("x", "y"), To: schema.NewVarSet("z")}}
+	got := fd.Closure(fds, schema.NewVarSet("x"))
+	if !got.Equal(schema.NewVarSet("x")) {
+		t.Errorf("closure = %v, want {x}", got)
+	}
+}
+
+func TestClosureEmptyKey(t *testing.T) {
+	// An FD with an empty left side always fires (ground keys).
+	fds := []fd.FD{{From: schema.NewVarSet(), To: schema.NewVarSet("y")}}
+	got := fd.Closure(fds, schema.NewVarSet())
+	if !got.Has("y") {
+		t.Errorf("closure = %v, want {y}", got)
+	}
+}
+
+func TestFromAtoms(t *testing.T) {
+	q := parse.MustQuery("R(x | y), S(y, z | w)")
+	fds := fd.FromAtoms(q.Positive())
+	if len(fds) != 2 {
+		t.Fatalf("fds = %v", fds)
+	}
+	if !fds[0].From.Equal(schema.NewVarSet("x")) || !fds[0].To.Equal(schema.NewVarSet("x", "y")) {
+		t.Errorf("fd[0] = %v", fds[0])
+	}
+	if !fds[1].From.Equal(schema.NewVarSet("y", "z")) || !fds[1].To.Equal(schema.NewVarSet("y", "z", "w")) {
+		t.Errorf("fd[1] = %v", fds[1])
+	}
+}
+
+func TestImplies(t *testing.T) {
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	fds := fd.FromAtoms(q.Positive())
+	if !fd.Implies(fds, schema.NewVarSet("x"), "z") {
+		t.Error("x should determine z via y")
+	}
+	if fd.Implies(fds, schema.NewVarSet("y"), "x") {
+		t.Error("y should not determine x")
+	}
+}
+
+// randFDs builds random dependency sets over a small variable pool.
+func randFDs(seed int64) ([]fd.FD, schema.VarSet) {
+	rng := rand.New(rand.NewSource(seed))
+	pool := []string{"a", "b", "c", "d", "e"}
+	pick := func() schema.VarSet {
+		s := make(schema.VarSet)
+		for _, v := range pool {
+			if rng.Intn(3) == 0 {
+				s.Add(v)
+			}
+		}
+		return s
+	}
+	n := rng.Intn(5)
+	fds := make([]fd.FD, n)
+	for i := range fds {
+		fds[i] = fd.FD{From: pick(), To: pick()}
+	}
+	return fds, pick()
+}
+
+// Closure is extensive, monotone, and idempotent.
+func TestClosureLaws(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		fds, start := randFDs(seed)
+		cl := fd.Closure(fds, start)
+		if !start.SubsetOf(cl) {
+			return false // extensive
+		}
+		if !fd.Closure(fds, cl).Equal(cl) {
+			return false // idempotent
+		}
+		bigger := start.Copy().Add("a")
+		if !cl.SubsetOf(fd.Closure(fds, bigger)) {
+			return false // monotone
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Closure must not mutate its input.
+func TestClosurePure(t *testing.T) {
+	fds := []fd.FD{{From: schema.NewVarSet("x"), To: schema.NewVarSet("y")}}
+	start := schema.NewVarSet("x")
+	_ = fd.Closure(fds, start)
+	if !start.Equal(schema.NewVarSet("x")) {
+		t.Error("Closure mutated the start set")
+	}
+}

@@ -1,0 +1,101 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LaTeX renders the formula as LaTeX math source, in the notation of the
+// paper (Figure 2): \exists, \forall, \wedge, \vee, \neg, \to, \neq.
+// Constants are typeset upright; variables as-is.
+func LaTeX(f Formula) string {
+	var b strings.Builder
+	latex(f, &b)
+	return b.String()
+}
+
+func latex(f Formula, b *strings.Builder) {
+	switch g := f.(type) {
+	case Truth:
+		if g {
+			b.WriteString("\\top")
+		} else {
+			b.WriteString("\\bot")
+		}
+	case Atom:
+		b.WriteString(g.Rel)
+		b.WriteString("(")
+		for i, t := range g.Terms {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(latexTerm(t))
+		}
+		b.WriteString(")")
+	case Eq:
+		fmt.Fprintf(b, "%s = %s", latexTerm(g.L), latexTerm(g.R))
+	case Not:
+		if eq, ok := g.F.(Eq); ok {
+			fmt.Fprintf(b, "%s \\neq %s", latexTerm(eq.L), latexTerm(eq.R))
+			return
+		}
+		b.WriteString("\\neg ")
+		latexParen(g.F, b)
+	case And:
+		latexJoin(g.Fs, " \\wedge ", b)
+	case Or:
+		latexJoin(g.Fs, " \\vee ", b)
+	case Implies:
+		latexParen(g.L, b)
+		b.WriteString(" \\to ")
+		latexParen(g.R, b)
+	case Exists:
+		for _, v := range g.Vars {
+			fmt.Fprintf(b, "\\exists %s ", v)
+		}
+		b.WriteString("\\big(")
+		latex(g.Body, b)
+		b.WriteString("\\big)")
+	case Forall:
+		for _, v := range g.Vars {
+			fmt.Fprintf(b, "\\forall %s ", v)
+		}
+		b.WriteString("\\big(")
+		latex(g.Body, b)
+		b.WriteString("\\big)")
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}
+
+func latexJoin(fs []Formula, sep string, b *strings.Builder) {
+	if len(fs) == 0 {
+		b.WriteString("\\top")
+		return
+	}
+	for i, sub := range fs {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		latexParen(sub, b)
+	}
+}
+
+func latexParen(f Formula, b *strings.Builder) {
+	switch f.(type) {
+	case Atom, Truth, Eq, Not, Exists, Forall:
+		latex(f, b)
+	default:
+		b.WriteString("(")
+		latex(f, b)
+		b.WriteString(")")
+	}
+}
+
+func latexTerm(t interface{ String() string }) string {
+	s := t.String()
+	if strings.HasPrefix(s, "'") {
+		return "\\mathrm{" + strings.Trim(s, "'") + "}"
+	}
+	return s
+}

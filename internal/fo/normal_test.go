@@ -1,0 +1,199 @@
+package fo_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/fo"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+)
+
+// isNNF reports whether negation appears only on atoms/equalities and no
+// implication remains.
+func isNNF(f fo.Formula) bool {
+	switch g := f.(type) {
+	case fo.Atom, fo.Eq, fo.Truth:
+		return true
+	case fo.Not:
+		switch g.F.(type) {
+		case fo.Atom, fo.Eq:
+			return true
+		}
+		return false
+	case fo.And:
+		for _, sub := range g.Fs {
+			if !isNNF(sub) {
+				return false
+			}
+		}
+		return true
+	case fo.Or:
+		for _, sub := range g.Fs {
+			if !isNNF(sub) {
+				return false
+			}
+		}
+		return true
+	case fo.Implies:
+		return false
+	case fo.Exists:
+		return isNNF(g.Body)
+	case fo.Forall:
+		return isNNF(g.Body)
+	default:
+		return false
+	}
+}
+
+// isPrenex reports whether the formula is a quantifier prefix followed by
+// a quantifier-free matrix.
+func isPrenex(f fo.Formula) bool {
+	for {
+		switch g := f.(type) {
+		case fo.Exists:
+			f = g.Body
+		case fo.Forall:
+			f = g.Body
+		default:
+			return fo.QuantifierRank(f) == 0
+		}
+	}
+}
+
+func TestNNFShapeAndSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3), nil)
+		if !fo.FreeVars(f).Empty() {
+			continue
+		}
+		n := fo.NNF(f)
+		if !isNNF(n) {
+			t.Fatalf("NNF(%s) = %s is not in NNF", f, n)
+		}
+		d := randSmallDB(rng)
+		if fo.EvalReference(d, f) != fo.EvalReference(d, n) {
+			t.Fatalf("NNF changed semantics of %s", f)
+		}
+	}
+}
+
+func TestPrenexShapeAndSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3), nil)
+		if !fo.FreeVars(f).Empty() {
+			continue
+		}
+		p := fo.Prenex(f)
+		if !isPrenex(p) {
+			t.Fatalf("Prenex(%s) = %s is not prenex", f, p)
+		}
+		if !fo.FreeVars(p).Empty() {
+			t.Fatalf("Prenex introduced free variables: %s", p)
+		}
+		d := randSmallDB(rng)
+		if len(d.ActiveDomain()) == 0 {
+			continue // prenex laws need a non-empty domain
+		}
+		if fo.EvalReference(d, f) != fo.EvalReference(d, p) {
+			t.Fatalf("Prenex changed semantics of %s (to %s)", f, p)
+		}
+	}
+}
+
+// Prenexing real rewritings preserves the certainty answer.
+func TestPrenexOnRewritings(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fo.Prenex(f)
+	if !isPrenex(p) {
+		t.Fatal("not prenex")
+	}
+	d := parse.MustDatabase(`
+		P(p1 | v1)
+		P(p2 | v2)
+		N(c | v1)
+	`)
+	if fo.Eval(d, f) != fo.Eval(d, p) {
+		t.Error("prenex rewriting disagrees")
+	}
+}
+
+func TestQuantifierRank(t *testing.T) {
+	f := fo.Exists{Vars: []string{"x", "y"}, Body: fo.Forall{Vars: []string{"z"}, Body: fo.Truth(true)}}
+	if got := fo.QuantifierRank(f); got != 3 {
+		t.Errorf("rank = %d, want 3", got)
+	}
+	if got := fo.QuantifierRank(fo.Truth(true)); got != 0 {
+		t.Errorf("rank of truth = %d", got)
+	}
+}
+
+func TestAlternationDepth(t *testing.T) {
+	// ∃x ∀z ∃w: two alternations.
+	f := fo.Exists{Vars: []string{"x"},
+		Body: fo.Forall{Vars: []string{"z"},
+			Body: fo.Exists{Vars: []string{"w"}, Body: fo.Truth(true)}}}
+	if got := fo.AlternationDepth(f); got != 2 {
+		t.Errorf("alternation = %d, want 2", got)
+	}
+	// ∃x ∃y: none.
+	g := fo.Exists{Vars: []string{"x", "y"}, Body: fo.Truth(true)}
+	if got := fo.AlternationDepth(g); got != 0 {
+		t.Errorf("alternation = %d, want 0", got)
+	}
+	// Negation flips ∀/∃ in NNF: ¬∃x∀z φ has the same depth.
+	h := fo.Not{F: f}
+	if got := fo.AlternationDepth(h); got != 2 {
+		t.Errorf("alternation under negation = %d, want 2", got)
+	}
+}
+
+// The q_Hall rewriting is a conjunction of Π₂ sentences for every ℓ: the
+// quantifier alternation depth stays constant at 1 while the size grows
+// exponentially — a shape statistic reported in EXPERIMENTS.md.
+func TestQHallAlternationConstant(t *testing.T) {
+	for l := 1; l <= 4; l++ {
+		src := "S(x)"
+		for i := 1; i <= l; i++ {
+			src += ", !N" + string(rune('0'+i)) + "('c' | x)"
+		}
+		f, err := rewrite.Rewrite(parse.MustQuery(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth := fo.AlternationDepth(f); depth != 1 {
+			t.Errorf("ℓ=%d: alternation depth = %d, want 1 (Π₂ conjuncts)", l, depth)
+		}
+		if rank := fo.QuantifierRank(f); rank != l+1 {
+			t.Errorf("ℓ=%d: quantifier rank = %d, want %d", l, rank, l+1)
+		}
+	}
+}
+
+func TestLaTeX(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tex := fo.LaTeX(f)
+	for _, frag := range []string{"\\exists x", "\\forall z2", "\\wedge", "\\to", "\\neq", "\\mathrm{c}"} {
+		if !strings.Contains(tex, frag) {
+			t.Errorf("LaTeX lacks %q:\n%s", frag, tex)
+		}
+	}
+	// Balanced \big( ... \big).
+	if strings.Count(tex, "\\big(") != strings.Count(tex, "\\big)") {
+		t.Error("unbalanced \\big parens")
+	}
+	if got := fo.LaTeX(fo.Truth(true)); got != "\\top" {
+		t.Errorf("LaTeX(true) = %q", got)
+	}
+}

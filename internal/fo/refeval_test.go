@@ -1,0 +1,111 @@
+package fo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// randFormula builds a random closed formula over relations R(2,1) and
+// S(1,1), quantifying every variable it introduces.
+func randFormula(rng *rand.Rand, depth int, scope []string) fo.Formula {
+	mkTerm := func() schema.Term {
+		if len(scope) > 0 && rng.Intn(4) != 0 {
+			return schema.Var(scope[rng.Intn(len(scope))])
+		}
+		return schema.Const([]string{"a", "b", "c", "d"}[rng.Intn(4)])
+	}
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{mkTerm(), mkTerm()}}
+		case 1:
+			return fo.Atom{Rel: "S", Key: 1, Terms: []schema.Term{mkTerm()}}
+		default:
+			return fo.Eq{L: mkTerm(), R: mkTerm()}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return fo.Not{F: randFormula(rng, depth-1, scope)}
+	case 1:
+		return fo.NewAnd(randFormula(rng, depth-1, scope), randFormula(rng, depth-1, scope))
+	case 2:
+		return fo.NewOr(randFormula(rng, depth-1, scope), randFormula(rng, depth-1, scope))
+	case 3:
+		return fo.Implies{L: randFormula(rng, depth-1, scope), R: randFormula(rng, depth-1, scope)}
+	case 4:
+		v := newVar(scope)
+		return fo.Exists{Vars: []string{v}, Body: randFormula(rng, depth-1, append(scope, v))}
+	default:
+		v := newVar(scope)
+		return fo.Forall{Vars: []string{v}, Body: randFormula(rng, depth-1, append(scope, v))}
+	}
+}
+
+func newVar(scope []string) string {
+	return "v" + string(rune('0'+len(scope)))
+}
+
+func randSmallDB(rng *rand.Rand) *db.Database {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 1, 1)
+	dom := []string{"a", "b", "c"}
+	for i := 0; i < 5; i++ {
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("R", dom[rng.Intn(3)], dom[rng.Intn(3)]))
+		}
+		if rng.Intn(3) == 0 {
+			d.MustInsert(db.F("S", dom[rng.Intn(3)]))
+		}
+	}
+	return d
+}
+
+// The optimized evaluator agrees with the unoptimized reference on random
+// closed formulas — this is the correctness argument for the guard-based
+// candidate restriction.
+func TestEvalAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 400; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3), nil)
+		if !fo.FreeVars(f).Empty() {
+			continue
+		}
+		d := randSmallDB(rng)
+		if fo.Eval(d, f) != fo.EvalReference(d, f) {
+			t.Fatalf("evaluators disagree on %s with db:\n%s", f, d)
+		}
+		// Simplification must preserve both.
+		s := fo.Simplify(f)
+		if fo.Eval(d, s) != fo.EvalReference(d, f) {
+			t.Fatalf("Simplify changed semantics of %s (to %s)", f, s)
+		}
+	}
+}
+
+// The evaluators also agree on real rewritings over generated databases.
+func TestEvalAgreesOnRewritings(t *testing.T) {
+	rng := rand.New(rand.NewSource(315))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	tested := 0
+	for tested < 25 {
+		q := gen.Query(rng, opts)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			continue
+		}
+		tested++
+		d := gen.Database(rng, q, dbOpts)
+		if fo.Eval(d, f) != fo.EvalReference(d, f) {
+			t.Fatalf("evaluators disagree on rewriting of %s\n%s", q, d)
+		}
+	}
+}

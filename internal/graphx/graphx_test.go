@@ -1,0 +1,175 @@
+package graphx_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqa/internal/graphx"
+)
+
+func TestEdgeCanon(t *testing.T) {
+	e := graphx.Edge{U: "b", V: "a"}
+	if c := e.Canon(); c.U != "a" || c.V != "b" {
+		t.Errorf("canon = %v", c)
+	}
+	if e.String() != "{a,b}" {
+		t.Errorf("string = %q", e.String())
+	}
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	g := graphx.NewUndirected()
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+	if err := g.AddEdge("b", "a"); err == nil {
+		t.Error("reversed duplicate should fail")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if !g.HasEdge("b", "a") {
+		t.Error("HasEdge should be orientation-free")
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("counts = %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := graphx.NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "d")
+	g.AddVertex("e")
+	if !g.Connected("a", "b") || g.Connected("a", "c") || g.Connected("a", "e") {
+		t.Error("connectivity broken")
+	}
+	if !g.Connected("e", "e") {
+		t.Error("vertex should be connected to itself")
+	}
+	if g.Connected("x", "a") {
+		t.Error("unknown vertex should not be connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestIsForest(t *testing.T) {
+	g := graphx.NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	if !g.IsForest() {
+		t.Error("path should be a forest")
+	}
+	g.AddEdge("c", "a")
+	if g.IsForest() {
+		t.Error("triangle is not a forest")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	g := graphx.NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	g.AddEdge("x", "y")
+	path := g.PathBetween("a", "d")
+	want := []string{"a", "b", "c", "d"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if g.PathBetween("a", "x") != nil {
+		t.Error("disconnected path should be nil")
+	}
+	if p := g.PathBetween("a", "a"); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := graphx.NewUnionFind()
+	if !uf.Union("a", "b") {
+		t.Error("first union should merge")
+	}
+	if uf.Union("a", "b") {
+		t.Error("repeated union should not merge")
+	}
+	uf.Union("c", "d")
+	if uf.Find("a") == uf.Find("c") {
+		t.Error("separate sets merged")
+	}
+	uf.Union("b", "c")
+	if uf.Find("a") != uf.Find("d") {
+		t.Error("transitive union broken")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	b := graphx.NewBipartite([]string{"l1", "l2"}, []string{"r1"})
+	if err := b.AddEdge("l1", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge("l1", "r1"); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := b.AddEdge("zz", "r1"); err == nil {
+		t.Error("unknown left vertex should fail")
+	}
+	if err := b.AddEdge("l1", "zz"); err == nil {
+		t.Error("unknown right vertex should fail")
+	}
+	edges := b.Edges()
+	if len(edges) != 1 || edges[0] != [2]string{"l1", "r1"} {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+// Property: components partition the vertex set.
+func TestComponentsPartition(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphx.NewUndirected()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, n := range names {
+			g.AddVertex(n)
+		}
+		for i := 0; i < 5; i++ {
+			u, v := names[rng.Intn(6)], names[rng.Intn(6)]
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		seen := make(map[string]int)
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != 6 {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package naive
+
+import (
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// CountSatisfyingRepairs returns the number of repairs of d (restricted
+// to the relations q mentions) that satisfy q, together with the total
+// number of repairs. This is the counting variant ♯CERTAINTY(q) discussed
+// in the paper's related work (Maslowski & Wijsen): CERTAINTY(q) holds
+// iff satisfying == total.
+//
+// The computation enumerates repairs and is exponential; it is meant as
+// ground truth for small instances.
+func CountSatisfyingRepairs(q schema.Query, d *db.Database) (satisfying, total int) {
+	rels := make([]string, 0, len(q.Lits))
+	for _, a := range q.Atoms() {
+		rels = append(rels, a.Rel)
+	}
+	d.Repairs(rels, func(r *db.Database) bool {
+		total++
+		if SatQuery(q, r) {
+			satisfying++
+		}
+		return true
+	})
+	return satisfying, total
+}
+
+// Frequency returns the fraction of repairs satisfying q, in [0, 1].
+// A database with a single (trivial) repair yields 0 or 1.
+func Frequency(q schema.Query, d *db.Database) float64 {
+	sat, total := CountSatisfyingRepairs(q, d)
+	if total == 0 {
+		return 0
+	}
+	return float64(sat) / float64(total)
+}

@@ -1,0 +1,67 @@
+package naive_test
+
+import (
+	"testing"
+
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+)
+
+func TestCountSatisfyingRepairs(t *testing.T) {
+	// R-block of size 2 × S-block of size 2 = 4 repairs.
+	d := parse.MustDatabase(`
+		R(a | 1)
+		R(a | 2)
+		S(1 | x)
+		S(1 | y)
+	`)
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	sat, total := naive.CountSatisfyingRepairs(q, d)
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	// q needs R(a,1) (only y=1 joins) — 2 of the 4 repairs contain it.
+	if sat != 2 {
+		t.Fatalf("satisfying = %d, want 2", sat)
+	}
+	if f := naive.Frequency(q, d); f != 0.5 {
+		t.Fatalf("frequency = %v, want 0.5", f)
+	}
+}
+
+func TestCountMatchesIsCertain(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(a | 1)
+		R(a | 2)
+		R(b | 1)
+		S(1 | a)
+	`)
+	for _, src := range []string{
+		"R(x | y)",
+		"R(x | y), !S(y | x)",
+		"R(x | '1')",
+	} {
+		q := parse.MustQuery(src)
+		if err := parse.DeclareQueryRelations(d, q); err != nil {
+			t.Fatal(err)
+		}
+		sat, total := naive.CountSatisfyingRepairs(q, d)
+		if (sat == total) != naive.IsCertain(q, d) {
+			t.Errorf("%s: counting (%d/%d) inconsistent with IsCertain", src, sat, total)
+		}
+	}
+}
+
+func TestFrequencyEdgeCases(t *testing.T) {
+	// Empty database restricted to q's relations: exactly one (empty)
+	// repair, which falsifies any query with positive atoms.
+	q := parse.MustQuery("R(x | y)")
+	d := parse.MustDatabase("")
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Fatal(err)
+	}
+	sat, total := naive.CountSatisfyingRepairs(q, d)
+	if total != 1 || sat != 0 {
+		t.Fatalf("empty db: %d/%d, want 0/1", sat, total)
+	}
+}

@@ -1,0 +1,72 @@
+package naive
+
+import (
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// Valuations enumerates every valuation θ over vars(q) with θ(q⁺) ⊆ d,
+// θ(N) ∉ d for all negated N, and all disequalities satisfied, calling fn
+// for each; enumeration stops early when fn returns false. The map passed
+// to fn is reused; copy it to retain.
+func Valuations(e schema.ExtQuery, d *db.Database, fn func(theta map[string]string) bool) {
+	pos := e.Positive()
+	env := make(map[string]string)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pos) {
+			if !checkNegAndDiseq(env, e, d) {
+				return true
+			}
+			return fn(env)
+		}
+		a := pos[i]
+		for _, f := range d.Facts(a.Rel) {
+			bound := bindAtom(a, f, env)
+			if bound == nil {
+				continue
+			}
+			cont := rec(i + 1)
+			unbind(env, bound)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// KeyRelevant reports whether the fact A is key-relevant for q in the
+// consistent database r (Section 3): there exists a valuation θ over
+// vars(q) with r ⊨ θ(q) and θ(F) ~ A, where F is q's atom over A's
+// relation name.
+//
+// Example 3.3: for q₁ = {R(x|y), ¬S(y|x)} and
+// r = {R(b|1), S(1|a), S(2|a)}, the fact S(1|a) is key-relevant (the only
+// valuation maps S's pattern to the key-equal S(1|b)) while S(2|a) is not.
+func KeyRelevant(q schema.Query, r *db.Database, a db.Fact) bool {
+	f, ok := q.AtomByRel(a.Rel)
+	if !ok {
+		return false
+	}
+	relevant := false
+	Valuations(schema.Ext(q), r, func(theta map[string]string) bool {
+		// θ(F) ~ A: same relation and same key values.
+		for i := 0; i < f.Key; i++ {
+			t := f.Terms[i]
+			var v string
+			if t.IsVar {
+				v = theta[t.Name]
+			} else {
+				v = t.Name
+			}
+			if v != a.Args[i] {
+				return true // keep searching
+			}
+		}
+		relevant = true
+		return false
+	})
+	return relevant
+}

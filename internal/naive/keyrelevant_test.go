@@ -1,0 +1,136 @@
+package naive_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+// Example 3.3 of the paper, verbatim.
+func TestExample33KeyRelevant(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	r := parse.MustDatabase(`
+		R(b | 1)
+		S(1 | a)
+		S(2 | a)
+	`)
+	if !naive.KeyRelevant(q, r, db.F("S", "1", "a")) {
+		t.Error("S(1|a) should be key-relevant (θ = {x↦b, y↦1})")
+	}
+	if naive.KeyRelevant(q, r, db.F("S", "2", "a")) {
+		t.Error("S(2|a) should not be key-relevant")
+	}
+	if !naive.KeyRelevant(q, r, db.F("R", "b", "1")) {
+		t.Error("R(b|1) should be key-relevant (it is the matched fact)")
+	}
+	if naive.KeyRelevant(q, r, db.F("Unknown", "x")) {
+		t.Error("facts over relations outside q are never key-relevant")
+	}
+}
+
+func TestValuationsEnumeration(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	d := parse.MustDatabase("R(a | 1)\nR(b | 2)")
+	var seen []map[string]string
+	naive.Valuations(schema.Ext(q), d, func(theta map[string]string) bool {
+		cp := map[string]string{}
+		for k, v := range theta {
+			cp[k] = v
+		}
+		seen = append(seen, cp)
+		return true
+	})
+	if len(seen) != 2 {
+		t.Fatalf("valuations = %v, want 2", seen)
+	}
+	// Early stop.
+	n := 0
+	naive.Valuations(schema.Ext(q), d, func(map[string]string) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d valuations", n)
+	}
+}
+
+// Lemma 6.8, tested empirically: let q be weakly-guarded, X unattacked
+// variables, G an atom of q, r a consistent database, A ∈ r key-relevant
+// for q in r, and B key-equal to A. Then for every valuation ζ over X:
+// if r_B = (r \ {A}) ∪ {B} satisfies ζ(q), so does r.
+func TestLemma68SwapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	dbOpts.MaxBlockSize = 1 // consistent databases
+	checked := 0
+	for trials := 0; trials < 300 && checked < 400; trials++ {
+		q := gen.Query(rng, opts)
+		g := attack.New(q)
+		unattacked := g.UnattackedVars()
+		r := gen.Database(rng, q, dbOpts)
+		if !r.IsConsistent() {
+			continue
+		}
+		dom := r.ActiveDomain()
+		if len(dom) == 0 {
+			continue
+		}
+		for _, atom := range q.Atoms() {
+			// G must not attack any X variable; take X = unattacked ∩
+			// vars(q), which no atom attacks at all — stronger than the
+			// lemma needs, and what Corollary 6.9 uses.
+			gRel := atom.Rel
+			for _, a := range r.Facts(gRel) {
+				if !naive.KeyRelevant(q, r, a) {
+					continue
+				}
+				// Build B: key-equal to A, different non-key part.
+				if atom.AllKey() {
+					continue // B = A, trivial
+				}
+				b := db.Fact{Rel: a.Rel, Args: append([]string{}, a.Args...)}
+				b.Args[len(b.Args)-1] = dom[rng.Intn(len(dom))] + "·alt"
+				rB := r.Clone()
+				rB.Remove(a)
+				rB.MustInsert(b)
+
+				// Check the implication for every ζ over X (including
+				// the empty valuation when X is empty).
+				xs := unattacked.Sorted()
+				var walk func(i int, zeta map[string]schema.Term) bool
+				walk = func(i int, zeta map[string]schema.Term) bool {
+					if i == len(xs) {
+						qz := q.Substitute(zeta)
+						if naive.SatQuery(qz, rB) && !naive.SatQuery(qz, r) {
+							t.Fatalf("Lemma 6.8 violated:\nq = %s\nζ = %v\nA = %s, B = %s\nr:\n%s",
+								q, zeta, a, b, r)
+						}
+						checked++
+						return true
+					}
+					for _, c := range dom {
+						zeta[xs[i]] = schema.Const(c)
+						if !walk(i+1, zeta) {
+							return false
+						}
+					}
+					delete(zeta, xs[i])
+					return true
+				}
+				if len(xs) <= 2 { // keep the sweep tractable
+					walk(0, map[string]schema.Term{})
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no key-relevant swap cases generated")
+	}
+}

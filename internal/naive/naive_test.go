@@ -1,0 +1,197 @@
+package naive_test
+
+import (
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func TestSatBasic(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(a | 1)
+		S(1 | b)
+	`)
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	if !naive.SatQuery(q, d) {
+		t.Error("join should be satisfied")
+	}
+	q2 := parse.MustQuery("R(x | y), S(x | z)")
+	if naive.SatQuery(q2, d) {
+		t.Error("S(a|...) does not exist")
+	}
+}
+
+func TestSatNegation(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(a | 1)
+		S(1 | a)
+	`)
+	// Example 3.3 style: R(x|y), ¬S(y|x).
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if naive.SatQuery(q, d) {
+		t.Error("S(1|a) blocks the only valuation")
+	}
+	d2 := parse.MustDatabase("R(a | 1)")
+	if err := parse.DeclareQueryRelations(d2, q); err != nil {
+		t.Fatal(err)
+	}
+	if !naive.SatQuery(q, d2) {
+		t.Error("without the S fact the query should be satisfied")
+	}
+}
+
+func TestSatConstants(t *testing.T) {
+	d := parse.MustDatabase("N(c | 5)")
+	q := parse.MustQuery("N('c' | y)")
+	if !naive.SatQuery(q, d) {
+		t.Error("constant key should match")
+	}
+	q2 := parse.MustQuery("N('d' | y)")
+	if naive.SatQuery(q2, d) {
+		t.Error("wrong constant should not match")
+	}
+}
+
+func TestSatRepeatedVariables(t *testing.T) {
+	d := parse.MustDatabase("R(a | a)\nR(b | c)")
+	q := parse.MustQuery("R(x | x)")
+	if !naive.SatQuery(q, d) {
+		t.Error("R(a|a) matches R(x|x)")
+	}
+	d2 := parse.MustDatabase("R(b | c)")
+	if naive.SatQuery(q, d2) {
+		t.Error("R(b|c) does not match R(x|x)")
+	}
+}
+
+func TestSatDiseq(t *testing.T) {
+	d := parse.MustDatabase("R(a | 1)\nR(b | 2)")
+	q := parse.MustQuery("R(x | y)")
+	e := schema.Ext(q).WithDiseq(schema.NewDiseq(
+		[]schema.Term{schema.Var("y")}, []schema.Term{schema.Const("1")}))
+	if !naive.Sat(e, d) {
+		t.Error("R(b|2) satisfies y ≠ 1")
+	}
+	d2 := parse.MustDatabase("R(a | 1)")
+	if naive.Sat(e, d2) {
+		t.Error("only fact violates the disequality")
+	}
+	// Multi-coordinate disequality: one differing coordinate suffices.
+	e2 := schema.Ext(q).WithDiseq(schema.NewDiseq(
+		[]schema.Term{schema.Var("x"), schema.Var("y")},
+		[]schema.Term{schema.Const("a"), schema.Const("2")}))
+	if !naive.Sat(e2, d2) {
+		t.Error("(a,1) ≠ (a,2) in the second coordinate")
+	}
+}
+
+func TestIsCertainConsistentDatabase(t *testing.T) {
+	d := parse.MustDatabase("R(a | 1)")
+	q := parse.MustQuery("R(x | y)")
+	if !naive.IsCertain(q, d) {
+		t.Error("consistent database satisfying q must be certain")
+	}
+	q2 := parse.MustQuery("R(x | 'zz')")
+	if naive.IsCertain(q2, d) {
+		t.Error("unsatisfied query cannot be certain")
+	}
+}
+
+func TestIsCertainBlocks(t *testing.T) {
+	// R-block {R(a|1), R(a|2)}: q = ∃x R(x|1) is true only in one repair.
+	d := parse.MustDatabase("R(a | 1)\nR(a | 2)")
+	q := parse.MustQuery("R(x | '1')")
+	if naive.IsCertain(q, d) {
+		t.Error("repair choosing R(a|2) falsifies q")
+	}
+	q2 := parse.MustQuery("R(x | y)")
+	if !naive.IsCertain(q2, d) {
+		t.Error("every repair has some R fact")
+	}
+}
+
+func TestIsCertainIgnoresUnrelatedRelations(t *testing.T) {
+	// A huge inconsistent relation that q does not mention must not blow
+	// up enumeration (repairs are restricted to q's relations).
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("Junk", 2, 1)
+	d.MustInsert(db.F("R", "a", "1"))
+	for i := 0; i < 30; i++ {
+		d.MustInsert(db.F("Junk", "k", string(rune('a'+i))))
+	}
+	q := parse.MustQuery("R(x | y)")
+	if !naive.IsCertain(q, d) {
+		t.Error("junk relation changed the answer")
+	}
+}
+
+func TestIsCertainEmptyPositiveRelation(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	q := parse.MustQuery("R(x | y)")
+	if naive.IsCertain(q, d) {
+		t.Error("empty relation: q false in the unique repair")
+	}
+	// Relation not even declared: same answer.
+	q2 := parse.MustQuery("Q(x | y)")
+	if naive.IsCertain(q2, db.New()) {
+		t.Error("undeclared relation should behave as empty")
+	}
+}
+
+func TestNegatedRelationAbsentFromDatabase(t *testing.T) {
+	// ¬N over an undeclared relation is vacuously satisfied.
+	d := parse.MustDatabase("R(a | 1)")
+	q := parse.MustQuery("R(x | y), !N(x | y)")
+	if !naive.IsCertain(q, d) {
+		t.Error("absent negated relation should not block certainty")
+	}
+}
+
+func TestFalsifyingRepair(t *testing.T) {
+	d := parse.MustDatabase("R(a | 1)\nR(a | 2)")
+	q := parse.MustQuery("R(x | '1')")
+	r := naive.FalsifyingRepair(q, d)
+	if r == nil {
+		t.Fatal("a falsifying repair exists")
+	}
+	if naive.SatQuery(q, r) {
+		t.Error("returned repair satisfies q")
+	}
+	if !r.Has(db.F("R", "a", "2")) {
+		t.Errorf("unexpected repair:\n%s", r)
+	}
+	q2 := parse.MustQuery("R(x | y)")
+	if naive.FalsifyingRepair(q2, d) != nil {
+		t.Error("certain query should have no falsifying repair")
+	}
+}
+
+// The empty query (no literals) is vacuously true everywhere.
+func TestEmptyQueryCertain(t *testing.T) {
+	if !naive.IsCertain(schema.Query{}, db.New()) {
+		t.Error("empty query should be certain")
+	}
+}
+
+// Positive-atom ordering by extension size must not change answers.
+func TestSatOrderIndependence(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(a | 1)
+		R(b | 2)
+		S(1 | x)
+		T(x | q)
+	`)
+	q1 := parse.MustQuery("R(x | y), S(y | z), T(z | w)")
+	q2 := parse.MustQuery("T(z | w), S(y | z), R(x | y)")
+	if naive.SatQuery(q1, d) != naive.SatQuery(q2, d) {
+		t.Error("literal order changed satisfaction")
+	}
+	if !naive.SatQuery(q1, d) {
+		t.Error("chain should be satisfied via a,1,x,q")
+	}
+}

@@ -1,0 +1,147 @@
+package naive
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// IsCertainParallel is IsCertain with the repair search fanned out over
+// worker goroutines: the choices of the first multi-fact block are
+// distributed, and each worker enumerates the completions independently
+// with early termination as soon as any worker finds a falsifying repair.
+// workers ≤ 0 selects GOMAXPROCS. The answer is identical to IsCertain.
+func IsCertainParallel(q schema.Query, d *db.Database, workers int) bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rels := make([]string, 0, len(q.Lits))
+	for _, a := range q.Atoms() {
+		rels = append(rels, a.Rel)
+	}
+
+	var blocks []blockRef
+	skeleton := db.New()
+	for _, name := range rels {
+		r := d.Relation(name)
+		if r == nil {
+			continue
+		}
+		skeleton.MustDeclare(name, r.Arity, r.Key)
+		d.Blocks(name, func(b []db.Fact) bool {
+			blocks = append(blocks, blockRef{rel: name, facts: b})
+			return true
+		})
+	}
+
+	// Sort multi-fact blocks to the front and pick a prefix whose choice
+	// combinations give enough tasks to keep the workers busy.
+	sortMultiFirst(blocks)
+	prefix := 0
+	combos := 1
+	for prefix < len(blocks) && combos < workers*8 && combos*len(blocks[prefix].facts) <= 4096 {
+		combos *= len(blocks[prefix].facts)
+		prefix++
+	}
+	if combos == 1 {
+		// Consistent (restricted) database: it is its own repair.
+		repair := skeleton.Clone()
+		for _, b := range blocks {
+			repair.MustInsert(b.facts[0])
+		}
+		return Sat(schema.Ext(q), repair)
+	}
+
+	var falsified atomic.Bool
+	tasks := make(chan []db.Fact)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			repair := skeleton.Clone()
+			for choice := range tasks {
+				if falsified.Load() {
+					continue // drain
+				}
+				for _, f := range choice {
+					repair.MustInsert(f)
+				}
+				enumerate(q, repair, blocks[prefix:], &falsified)
+				for _, f := range choice {
+					repair.Remove(f)
+				}
+			}
+		}()
+	}
+	emitPrefixes(blocks[:prefix], nil, tasks, &falsified)
+	close(tasks)
+	wg.Wait()
+	return !falsified.Load()
+}
+
+// blockRef is one block of the restricted database during enumeration.
+type blockRef struct {
+	rel   string
+	facts []db.Fact
+}
+
+// sortMultiFirst stably moves multi-fact blocks before singleton blocks,
+// so the task prefix gets real branching.
+func sortMultiFirst(blocks []blockRef) {
+	out := make([]blockRef, 0, len(blocks))
+	for _, b := range blocks {
+		if len(b.facts) > 1 {
+			out = append(out, b)
+		}
+	}
+	for _, b := range blocks {
+		if len(b.facts) == 1 {
+			out = append(out, b)
+		}
+	}
+	copy(blocks, out)
+}
+
+// emitPrefixes streams every combination of choices for the prefix
+// blocks, aborting early when a falsifying repair has been found.
+func emitPrefixes(blocks []blockRef, acc []db.Fact, tasks chan<- []db.Fact, falsified *atomic.Bool) {
+	if falsified.Load() {
+		return
+	}
+	if len(blocks) == 0 {
+		choice := make([]db.Fact, len(acc))
+		copy(choice, acc)
+		tasks <- choice
+		return
+	}
+	for _, f := range blocks[0].facts {
+		emitPrefixes(blocks[1:], append(acc, f), tasks, falsified)
+	}
+}
+
+// enumerate walks the remaining block choices, setting falsified when a
+// repair does not satisfy q. It aborts as soon as the flag is set by any
+// worker.
+func enumerate(q schema.Query, repair *db.Database, blocks []blockRef, falsified *atomic.Bool) {
+	if falsified.Load() {
+		return
+	}
+	if len(blocks) == 0 {
+		if !Sat(schema.Ext(q), repair) {
+			falsified.Store(true)
+		}
+		return
+	}
+	for _, f := range blocks[0].facts {
+		repair.MustInsert(f)
+		enumerate(q, repair, blocks[1:], falsified)
+		repair.Remove(f)
+		if falsified.Load() {
+			return
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package naive_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	for trial := 0; trial < 40; trial++ {
+		q := gen.Query(rng, opts)
+		d := gen.Database(rng, q, dbOpts)
+		want := naive.IsCertain(q, d)
+		for _, workers := range []int{0, 1, 4} {
+			if got := naive.IsCertainParallel(q, d, workers); got != want {
+				t.Fatalf("parallel(%d) = %v, sequential = %v\nquery %s\n%s",
+					workers, got, want, q, d)
+			}
+		}
+	}
+}
+
+func TestParallelConsistentDatabase(t *testing.T) {
+	// No multi-fact block: the consistent path.
+	d := parse.MustDatabase("R(a | 1)\nS(1 | b)")
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	if !naive.IsCertainParallel(q, d, 4) {
+		t.Error("consistent satisfying database should be certain")
+	}
+	q2 := parse.MustQuery("R(x | 'zz')")
+	if naive.IsCertainParallel(q2, d, 4) {
+		t.Error("unsatisfied query should not be certain")
+	}
+}
+
+func TestParallelUndeclaredRelation(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !N(x | y)")
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustInsert(db.F("R", "a", "1"))
+	if !naive.IsCertainParallel(q, d, 2) {
+		t.Error("absent negated relation should not block certainty")
+	}
+}
+
+func TestParallelEarlyExit(t *testing.T) {
+	// Many blocks, all falsifying: must terminate quickly and return
+	// false regardless of worker count.
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	for i := 0; i < 18; i++ {
+		k := string(rune('a' + i))
+		d.MustInsert(db.F("R", k, "1"))
+		d.MustInsert(db.F("R", k, "2"))
+	}
+	q := parse.MustQuery("R(x | '3')")
+	if naive.IsCertainParallel(q, d, 8) {
+		t.Error("query is false in every repair")
+	}
+}

@@ -1,0 +1,45 @@
+package naive
+
+import (
+	"math/rand"
+
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// SampleRepair returns one repair of d (restricted to the relations q
+// mentions) drawn uniformly at random: each block contributes one fact
+// chosen uniformly and independently, which induces the uniform
+// distribution over repairs.
+func SampleRepair(q schema.Query, d *db.Database, rng *rand.Rand) *db.Database {
+	repair := db.New()
+	for _, a := range q.Atoms() {
+		r := d.Relation(a.Rel)
+		if r == nil {
+			continue
+		}
+		repair.MustDeclare(a.Rel, r.Arity, r.Key)
+		d.Blocks(a.Rel, func(b []db.Fact) bool {
+			repair.MustInsert(b[rng.Intn(len(b))])
+			return true
+		})
+	}
+	return repair
+}
+
+// EstimateFrequency estimates the fraction of repairs satisfying q by
+// Monte-Carlo sampling of n uniform repairs. It is the tractable
+// companion of Frequency (exact, exponential): by Hoeffding's inequality
+// the estimate is within ε of the truth with probability ≥ 1 − 2e^{−2nε²}.
+func EstimateFrequency(q schema.Query, d *db.Database, n int, rng *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sat := 0
+	for i := 0; i < n; i++ {
+		if SatQuery(q, SampleRepair(q, d, rng)) {
+			sat++
+		}
+	}
+	return float64(sat) / float64(n)
+}

@@ -1,0 +1,82 @@
+package naive_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+)
+
+func TestSampleRepairIsARepair(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	d := parse.MustDatabase(`
+		R(a | 1)
+		R(a | 2)
+		R(b | 1)
+		S(1 | a)
+		S(1 | b)
+	`)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		r := naive.SampleRepair(q, d, rng)
+		if !r.IsConsistent() {
+			t.Fatal("sampled repair is inconsistent")
+		}
+		// One fact per block: 2 R-blocks + 1 S-block.
+		if r.Size() != 3 {
+			t.Fatalf("sampled repair has %d facts, want 3", r.Size())
+		}
+		for _, f := range r.AllFacts() {
+			if !d.Has(f) {
+				t.Fatalf("sampled repair contains foreign fact %v", f)
+			}
+		}
+	}
+}
+
+// The Monte-Carlo estimate converges to the exact repair frequency.
+func TestEstimateFrequencyConverges(t *testing.T) {
+	q := parse.MustQuery("R(x | '1')")
+	// R-block {R(a|1), R(a|2)} and {R(b|1), R(b|3)}: q holds unless both
+	// blocks pick the non-1 fact: frequency = 3/4.
+	d := parse.MustDatabase(`
+		R(a | 1)
+		R(a | 2)
+		R(b | 1)
+		R(b | 3)
+	`)
+	exact := naive.Frequency(q, d)
+	if exact != 0.75 {
+		t.Fatalf("exact frequency = %v, want 0.75", exact)
+	}
+	rng := rand.New(rand.NewSource(2))
+	est := naive.EstimateFrequency(q, d, 4000, rng)
+	if math.Abs(est-exact) > 0.05 {
+		t.Fatalf("estimate %v too far from %v", est, exact)
+	}
+	if naive.EstimateFrequency(q, d, 0, rng) != 0 {
+		t.Error("n = 0 should estimate 0")
+	}
+}
+
+// Sampling uniformity: each repair of a 2-repair database appears about
+// half the time.
+func TestSampleRepairUniform(t *testing.T) {
+	q := parse.MustQuery("R(x | y)")
+	d := parse.MustDatabase("R(a | 1)\nR(a | 2)")
+	rng := rand.New(rand.NewSource(3))
+	first := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		r := naive.SampleRepair(q, d, rng)
+		if r.Has(parse.MustDatabase("R(a | 1)").AllFacts()[0]) {
+			first++
+		}
+	}
+	ratio := float64(first) / n
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("sampling skewed: ratio = %v", ratio)
+	}
+}

@@ -1,0 +1,44 @@
+package parse
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"cqa/internal/db"
+)
+
+// DatabaseCSV loads one relation's facts from CSV: every record becomes
+// one fact of the named relation with the given signature [arity(record),
+// key]. The relation is declared on (or must match) the target database.
+// Empty records are skipped; all records must have the same width.
+func DatabaseCSV(d *db.Database, rel string, key int, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	arity := -1
+	for lineNo := 1; ; lineNo++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("parse: csv %s record %d: %w", rel, lineNo, err)
+		}
+		if len(record) == 0 {
+			continue
+		}
+		if arity == -1 {
+			arity = len(record)
+			if err := d.DeclareRelation(rel, arity, key); err != nil {
+				return err
+			}
+		}
+		if len(record) != arity {
+			return fmt.Errorf("parse: csv %s record %d has %d fields, want %d",
+				rel, lineNo, len(record), arity)
+		}
+		if err := d.Insert(db.Fact{Rel: rel, Args: record}); err != nil {
+			return err
+		}
+	}
+}

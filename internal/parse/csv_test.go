@@ -1,0 +1,55 @@
+package parse_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/parse"
+)
+
+func TestDatabaseCSV(t *testing.T) {
+	d := db.New()
+	src := "ann,mons\nbob, ghent\nann,liege\n"
+	if err := parse.DatabaseCSV(d, "Lives", 1, strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if !d.Has(db.F("Lives", "bob", "ghent")) {
+		t.Error("trimmed field mishandled")
+	}
+	if d.IsConsistent() {
+		t.Error("ann has two residences; should be inconsistent")
+	}
+	r := d.Relation("Lives")
+	if r.Arity != 2 || r.Key != 1 {
+		t.Errorf("signature = [%d, %d]", r.Arity, r.Key)
+	}
+}
+
+func TestDatabaseCSVErrors(t *testing.T) {
+	d := db.New()
+	if err := parse.DatabaseCSV(d, "R", 1, strings.NewReader("a,b\nc\n")); err == nil {
+		t.Error("ragged records should fail")
+	}
+	d2 := db.New()
+	d2.MustDeclare("R", 3, 1)
+	if err := parse.DatabaseCSV(d2, "R", 1, strings.NewReader("a,b\n")); err == nil {
+		t.Error("signature clash should fail")
+	}
+	// Invalid key against first record's arity.
+	d3 := db.New()
+	if err := parse.DatabaseCSV(d3, "R", 5, strings.NewReader("a,b\n")); err == nil {
+		t.Error("key larger than arity should fail")
+	}
+	// Empty input declares nothing and succeeds.
+	d4 := db.New()
+	if err := parse.DatabaseCSV(d4, "R", 1, strings.NewReader("")); err != nil {
+		t.Errorf("empty input: %v", err)
+	}
+	if d4.Relation("R") != nil {
+		t.Error("empty input should not declare the relation")
+	}
+}

@@ -1,0 +1,148 @@
+package parse_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/parse"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"R(x | y), !S(y | x)", "R(x | y), !S(y | x)"},
+		{"R(x|y) & not S(y|x)", "R(x | y), !S(y | x)"},
+		{"P(x, y)", "P(x, y)"},
+		{"N('c' | y)", "N('c' | y)"},
+		{"R(x | 'a b', y)", "R(x | 'a b', y)"},
+		{"R(x | 42)", "R(x | '42')"},
+	}
+	for _, c := range cases {
+		q, err := parse.Query(c.src)
+		if err != nil {
+			t.Errorf("parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := q.String(); got != c.want {
+			t.Errorf("parse(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"", "relation name"},
+		{"r(x)", "uppercase"},
+		{"R(x", "expected ')'"},
+		{"R()", "expected term"},
+		{"R(x) garbage", "trailing"},
+		{"R(x | y | z)", "two '|'"},
+		{"R(x), R(y)", "self-join"},
+		{"R(x), !S(y)", "safety"},
+		{"R('abc)", "unterminated"},
+	}
+	for _, c := range cases {
+		_, err := parse.Query(c.src)
+		if err == nil {
+			t.Errorf("parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("parse(%q) error = %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestDatabaseParsing(t *testing.T) {
+	d, err := parse.Database(`
+		# Figure 1
+		R(Alice | Bob)
+		R(Alice | George)
+		S(Bob | Alice)   # inline comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if !d.Has(db.F("R", "Alice", "George")) {
+		t.Error("missing fact")
+	}
+	r := d.Relation("R")
+	if r.Key != 1 || r.Arity != 2 {
+		t.Errorf("signature = [%d, %d]", r.Arity, r.Key)
+	}
+}
+
+func TestDatabaseSignatureInference(t *testing.T) {
+	d, err := parse.Database("T(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Relation("T"); !r.AllKey() {
+		t.Error("atom without | should be all-key")
+	}
+}
+
+func TestDatabaseSignatureClash(t *testing.T) {
+	_, err := parse.Database("R(a | b)\nR(a, b)")
+	if err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("err = %v, want signature clash", err)
+	}
+}
+
+func TestDatabaseErrors(t *testing.T) {
+	if _, err := parse.Database("R(a | b) junk"); err == nil {
+		t.Error("trailing junk should fail")
+	}
+	if _, err := parse.Database("R(a |"); err == nil {
+		t.Error("unclosed atom should fail")
+	}
+}
+
+func TestDatabaseLineNumbers(t *testing.T) {
+	_, err := parse.Database("R(a | b)\nbroken(")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2", err)
+	}
+}
+
+func TestDeclareQueryRelations(t *testing.T) {
+	d := db.New()
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Fatal(err)
+	}
+	if d.Relation("R") == nil || d.Relation("S") == nil {
+		t.Error("relations not declared")
+	}
+	// Re-declaring with matching signature is fine.
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Errorf("idempotent declare failed: %v", err)
+	}
+}
+
+func TestVariablesAreConstantsInFacts(t *testing.T) {
+	// Lowercase arguments in facts are constants, not variables.
+	d, err := parse.Database("R(alice | bob)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has(db.F("R", "alice", "bob")) {
+		t.Error("lowercase fact arguments mishandled")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuery should panic on bad input")
+		}
+	}()
+	parse.MustQuery("r(")
+}

@@ -1,0 +1,73 @@
+package reduction
+
+import (
+	"fmt"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// Prop72Witness constructs the database from the proof of Proposition 7.2
+// witnessing that an attacked variable x is not reifiable in q: the
+// returned database has exactly two repairs, both satisfy q, yet for
+// every constant c at least one repair falsifies q[x ↦ c].
+//
+// The construction: pick F with F|v_F ⇝ x, define the valuations
+// Θ_c(w) = c if F|v_F ⇝ w and ⊥ otherwise, and take
+// db = Θ_a(q⁺) ∪ Θ_b(q⁺) ∪ {Θ_a(F), Θ_b(F)} for distinct fresh constants
+// a, b. The two Θ(F) facts are key-equal (key(F) ⊆ F^{⊕,q} maps to ⊥) but
+// distinct (v_F is reached), and by Lemma 4.7 no other pair of facts
+// conflicts, so the F-block is the only choice point.
+func Prop72Witness(q schema.Query, x, a, b string) (*db.Database, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if a == b {
+		return nil, fmt.Errorf("reduction: witness constants must be distinct")
+	}
+	g := attack.New(q)
+	var fRel, vF string
+	for _, rel := range g.Atoms() {
+		if !g.AttacksVar(rel, x) {
+			continue
+		}
+		if u, _, ok := g.AttackVarWitness(rel, x); ok {
+			fRel, vF = rel, u
+			break
+		}
+	}
+	if fRel == "" {
+		return nil, fmt.Errorf("reduction: variable %s is unattacked in %s (Proposition 7.2 does not apply)", x, q)
+	}
+	reach := g.ReachFrom(fRel, vF)
+
+	theta := func(c string, atom schema.Atom) db.Fact {
+		args := make([]string, len(atom.Terms))
+		for i, t := range atom.Terms {
+			switch {
+			case !t.IsVar:
+				args[i] = t.Name
+			case reach.Has(t.Name):
+				args[i] = c
+			default:
+				args[i] = Bottom
+			}
+		}
+		return db.Fact{Rel: atom.Rel, Args: args}
+	}
+
+	d := declareQ(q)
+	fAtom, _ := q.AtomByRel(fRel)
+	for _, c := range []string{a, b} {
+		for _, p := range q.Positive() {
+			if err := d.Insert(theta(c, p)); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.Insert(theta(c, fAtom)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,177 @@
+package reduction_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/graphx"
+	"cqa/internal/matching"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+)
+
+// Figure 1 / Example 1.1: the girls-boys database. A matching exists
+// (Alice–George, Maria–Bob), so CERTAINTY(q1) must be false.
+func TestFigure1Q1NotCertain(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+		S(Bob | Maria)
+		S(George | Alice)
+		S(George | Maria)
+	`)
+	if naive.IsCertain(reduction.Q1(), d) {
+		t.Fatal("Figure 1: q1 should not be certain (the matching repair falsifies it)")
+	}
+	// The specific repair from Example 1.1 falsifies q1.
+	r := parse.MustDatabase(`
+		R(Alice | George)
+		R(Maria | Bob)
+		S(George | Alice)
+		S(Bob | Maria)
+	`)
+	if naive.SatQuery(reduction.Q1(), r) {
+		t.Fatal("the matching repair should falsify q1")
+	}
+}
+
+// Lemma 5.2: on random bipartite graphs with equal sides and no isolated
+// left vertex, CERTAINTY(q1) on the reduced database is the complement of
+// perfect matching.
+func TestLemma52BPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(4)
+		g := gen.Bipartite(rng, n, 0.4)
+		d, err := reduction.BPMToQ1(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasPM := matching.HasPerfectMatching(g)
+		certain := naive.IsCertain(reduction.Q1(), d)
+		if hasPM == certain {
+			t.Fatalf("trial %d: perfect matching = %v but certain = %v\ngraph edges %v",
+				trial, hasPM, certain, g.Edges())
+		}
+	}
+}
+
+func TestBPMPreconditions(t *testing.T) {
+	g := graphx.NewBipartite([]string{"a"}, []string{"b", "c"})
+	g.AddEdge("a", "b")
+	if _, err := reduction.BPMToQ1(g); err == nil {
+		t.Error("unequal sides should be rejected")
+	}
+	g2 := graphx.NewBipartite([]string{"a1", "a2"}, []string{"b1", "b2"})
+	g2.AddEdge("a1", "b1")
+	if _, err := reduction.BPMToQ1(g2); err == nil {
+		t.Error("isolated left vertex should be rejected")
+	}
+}
+
+// Lemma 5.3 / Figure 4: on random two-component forests, CERTAINTY(q2) on
+// the reduced database holds iff U and V are connected.
+func TestLemma53UFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		inst := gen.UFA(rng, 2+rng.Intn(3), 2+rng.Intn(3))
+		d, err := reduction.UFAToQ2(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		connected := inst.Graph.Connected(inst.U, inst.V)
+		certain := naive.IsCertain(reduction.Q2(), d)
+		if connected != certain {
+			t.Fatalf("trial %d: connected(%s,%s) = %v but certain = %v\n%s",
+				trial, inst.U, inst.V, connected, certain, d)
+		}
+	}
+}
+
+func TestUFAValidation(t *testing.T) {
+	g := graphx.NewUndirected()
+	g.AddEdge("a", "b")
+	// Only one component.
+	inst := reduction.UFAInstance{Graph: g, U: "a", V: "b"}
+	if _, err := reduction.UFAToQ2(inst); err == nil {
+		t.Error("single component should be rejected")
+	}
+	g.AddEdge("c", "d")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "c") // creates a cycle a-b-c-a
+	inst = reduction.UFAInstance{Graph: g, U: "a", V: "d"}
+	if _, err := reduction.UFAToQ2(inst); err == nil {
+		t.Error("cyclic graph should be rejected")
+	}
+}
+
+// Examples 1.2 and 6.12: S-COVERING solvable iff CERTAINTY(q_Hall) false.
+func TestSCoveringQHall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		inst := gen.SCovering(rng, rng.Intn(4), 1+rng.Intn(3), 0.5)
+		d := reduction.SCoveringToQHall(inst)
+		q := reduction.QHall(len(inst.T))
+		solvable := inst.Solvable()
+		certain := naive.IsCertain(q, d)
+		// Careful: with S empty, q_Hall has no satisfying valuation, so
+		// certainty is false while the instance is trivially solvable.
+		if len(inst.S) == 0 {
+			if certain {
+				t.Fatalf("trial %d: empty S must make q_Hall uncertain", trial)
+			}
+			continue
+		}
+		if solvable == certain {
+			t.Fatalf("trial %d: solvable = %v but certain = %v\nS=%v T=%v",
+				trial, solvable, certain, inst.S, inst.T)
+		}
+	}
+}
+
+// Lemma 5.4: dropping negated atoms preserves the certainty answer.
+func TestLemma54DropNegated(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x), !U(x | y)")
+	qPrime := parse.MustQuery("R(x | y), !S(y | x)")
+	rng := rand.New(rand.NewSource(3))
+	dom := []string{"1", "2"}
+	for trial := 0; trial < 100; trial++ {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 2, 1)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("R", dom[rng.Intn(2)], dom[rng.Intn(2)]))
+			}
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("S", dom[rng.Intn(2)], dom[rng.Intn(2)]))
+			}
+		}
+		d0, err := reduction.DropNegated(q, qPrime, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d0.Facts("U")) != 0 {
+			t.Fatal("U should be empty in the reduced database")
+		}
+		if naive.IsCertain(qPrime, d) != naive.IsCertain(q, d0) {
+			t.Fatalf("trial %d: Lemma 5.4 answer not preserved", trial)
+		}
+	}
+}
+
+func TestDropNegatedRejectsMissingPositive(t *testing.T) {
+	q := parse.MustQuery("R(x | y), S(y | x)")
+	qPrime := parse.MustQuery("R(x | y)")
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	if _, err := reduction.DropNegated(q, qPrime, d); err == nil {
+		t.Error("missing positive atom should be rejected")
+	}
+}

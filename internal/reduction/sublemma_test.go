@@ -1,0 +1,147 @@
+package reduction_test
+
+import (
+	"testing"
+
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+	"cqa/internal/schema"
+)
+
+// consistentPair reports whether two facts can coexist in a consistent
+// database: they are not key-equal, or they are equal.
+func consistentPair(key int, a, b []string) bool {
+	keyEqual := true
+	for i := 0; i < key; i++ {
+		if a[i] != b[i] {
+			keyEqual = false
+			break
+		}
+	}
+	if !keyEqual {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The Θ sublemmas of Lemmas 5.6/5.7 (Sublemmas 5.1–5.3 and B.1–B.3),
+// checked directly on a corpus of 2-cycle queries:
+//
+//  1. for every positive H (other than F in the 5.6 case), the facts
+//     Θ^a_b(H) and Θ^{a'}_{b'}(H) are consistent for all a, b, a', b';
+//  2. Θ^a_b(F) and Θ^{a'}_{b'}(F) are key-equal iff a = a', and equal iff
+//     additionally b = b';
+//  3. symmetrically for G with the roles of a and b swapped.
+func TestThetaSublemmas(t *testing.T) {
+	cases := []struct {
+		query     string
+		f, g      string
+		fPositive bool
+	}{
+		{"R0(x | y), !S0(y | x)", "R0", "S0", true},            // Lemma 5.6 shape
+		{"R0(x | y, y), !S0(y | x)", "R0", "S0", true},         // wider F
+		{"P(x, y), !R0(x | y), !S0(y | x)", "R0", "S0", false}, // Lemma 5.7 shape
+		{"P(x, y), !R0(x | y), !S0(y | x), A(x, y)", "R0", "S0", false},
+	}
+	as := []string{"α1", "α2"}
+	bs := []string{"β1", "β2"}
+	for _, c := range cases {
+		q := parse.MustQuery(c.query)
+		th, err := reduction.NewTheta(q, c.f, c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.query, err)
+		}
+		fAtom, _ := q.AtomByRel(c.f)
+		gAtom, _ := q.AtomByRel(c.g)
+
+		// Sublemma 1: positive atoms' images are pairwise consistent.
+		for _, h := range q.Positive() {
+			if c.fPositive && h.Rel == c.f {
+				continue // F itself is covered by sublemma 2
+			}
+			forAllPairs(as, bs, func(a, b, a2, b2 string) {
+				f1 := th.Fact(h, a, b)
+				f2 := th.Fact(h, a2, b2)
+				if !consistentPair(h.Key, f1.Args, f2.Args) {
+					t.Fatalf("%s: Sublemma 1 violated for %s: %v vs %v", c.query, h.Rel, f1, f2)
+				}
+			})
+		}
+
+		// Sublemma 2: F images keyed by a, distinguished by (a, b).
+		forAllPairs(as, bs, func(a, b, a2, b2 string) {
+			f1 := th.Fact(fAtom, a, b)
+			f2 := th.Fact(fAtom, a2, b2)
+			keyEq := sliceEq(f1.Args[:fAtom.Key], f2.Args[:fAtom.Key])
+			if keyEq != (a == a2) {
+				t.Fatalf("%s: Sublemma 2(1) violated: key-equal=%v for a=%s a'=%s", c.query, keyEq, a, a2)
+			}
+			eq := sliceEq(f1.Args, f2.Args)
+			if eq != (a == a2 && b == b2) {
+				t.Fatalf("%s: Sublemma 2(2) violated: equal=%v for (%s,%s) vs (%s,%s)", c.query, eq, a, b, a2, b2)
+			}
+		})
+
+		// Sublemma 3: G images keyed by b.
+		forAllPairs(as, bs, func(a, b, a2, b2 string) {
+			g1 := th.Fact(gAtom, a, b)
+			g2 := th.Fact(gAtom, a2, b2)
+			keyEq := sliceEq(g1.Args[:gAtom.Key], g2.Args[:gAtom.Key])
+			if keyEq != (b == b2) {
+				t.Fatalf("%s: Sublemma 3(1) violated: key-equal=%v for b=%s b'=%s", c.query, keyEq, b, b2)
+			}
+			eq := sliceEq(g1.Args, g2.Args)
+			if eq != (a == a2 && b == b2) {
+				t.Fatalf("%s: Sublemma 3(2) violated", c.query)
+			}
+		})
+
+		// The proof's orientation facts: Θ^a_b(u') = a and Θ^a_b(u) = b.
+		if got := th.Value(th.UPrime, "a", "b"); got != "a" {
+			t.Fatalf("%s: Θ(u') = %s, want a", c.query, got)
+		}
+		if got := th.Value(th.U, "a", "b"); got != "b" {
+			t.Fatalf("%s: Θ(u) = %s, want b", c.query, got)
+		}
+	}
+}
+
+func forAllPairs(as, bs []string, fn func(a, b, a2, b2 string)) {
+	for _, a := range as {
+		for _, b := range bs {
+			for _, a2 := range as {
+				for _, b2 := range bs {
+					fn(a, b, a2, b2)
+				}
+			}
+		}
+	}
+}
+
+func sliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The schema package's Diseq is used pervasively by the rewriting; pin
+// its printable form used in traces.
+func TestDiseqRendering(t *testing.T) {
+	d := schema.NewDiseq(
+		[]schema.Term{schema.Var("y")},
+		[]schema.Term{schema.Const("v1")})
+	if d.String() != "<y> != <'v1'>" {
+		t.Errorf("diseq rendering = %q", d.String())
+	}
+}

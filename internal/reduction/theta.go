@@ -1,0 +1,194 @@
+package reduction
+
+import (
+	"fmt"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+// Bottom is the constant the Θ^a_b valuations assign to variables
+// reached by neither attack.
+const Bottom = "⊥"
+
+// Pair renders the pair constant ⟨a, b⟩ used by the Θ^a_b valuations.
+func Pair(a, b string) string { return "⟨" + a + "," + b + "⟩" }
+
+// Theta is the family of valuations Θ^a_b over vars(q) used by the
+// reductions of Lemmas 5.6 and 5.7 for an attack 2-cycle F ⇄ G:
+//
+//	Θ^a_b(w) = a      if G|v_G ⇝ w and F|v_F ̸⇝ w
+//	           b      if F|v_F ⇝ w and G|v_G ̸⇝ w
+//	           ⟨a,b⟩  if F|v_F ⇝ w and G|v_G ⇝ w
+//	           ⊥      otherwise
+//
+// where v_F ∈ vars(F) attacks some u ∈ key(G) and v_G ∈ vars(G) attacks
+// some u' ∈ key(F).
+type Theta struct {
+	Q    schema.Query
+	F, G string
+	// VF, U, VG, UPrime are the witnesses of the mutual attacks.
+	VF, U, VG, UPrime string
+
+	reachF, reachG schema.VarSet
+}
+
+// NewTheta builds the valuation family for the 2-cycle F ⇄ G of q. It
+// fails when the atoms do not mutually attack each other.
+func NewTheta(q schema.Query, fRel, gRel string) (*Theta, error) {
+	g := attack.New(q)
+	if !g.Attacks(fRel, gRel) || !g.Attacks(gRel, fRel) {
+		return nil, fmt.Errorf("reduction: %s and %s do not form an attack 2-cycle in %s", fRel, gRel, q)
+	}
+	fAtom, ok := q.AtomByRel(fRel)
+	if !ok {
+		return nil, fmt.Errorf("reduction: no atom %s in %s", fRel, q)
+	}
+	gAtom, ok := q.AtomByRel(gRel)
+	if !ok {
+		return nil, fmt.Errorf("reduction: no atom %s in %s", gRel, q)
+	}
+	th := &Theta{Q: q, F: fRel, G: gRel}
+	for _, u := range gAtom.KeyVars().Sorted() {
+		if vf, _, ok := g.AttackVarWitness(fRel, u); ok {
+			th.VF, th.U = vf, u
+			break
+		}
+	}
+	for _, u := range fAtom.KeyVars().Sorted() {
+		if vg, _, ok := g.AttackVarWitness(gRel, u); ok {
+			th.VG, th.UPrime = vg, u
+			break
+		}
+	}
+	if th.VF == "" || th.VG == "" {
+		return nil, fmt.Errorf("reduction: internal: 2-cycle %s ⇄ %s without variable witnesses", fRel, gRel)
+	}
+	th.reachF = g.ReachFrom(fRel, th.VF)
+	th.reachG = g.ReachFrom(gRel, th.VG)
+	return th, nil
+}
+
+// Value returns Θ^a_b(w) for a variable w.
+func (th *Theta) Value(w, a, b string) string {
+	inF := th.reachF.Has(w)
+	inG := th.reachG.Has(w)
+	switch {
+	case inG && !inF:
+		return a
+	case inF && !inG:
+		return b
+	case inF && inG:
+		return Pair(a, b)
+	default:
+		return Bottom
+	}
+}
+
+// Fact applies Θ^a_b to an atom of q, yielding a fact. Constants in the
+// atom are kept (the valuation is the identity on constants).
+func (th *Theta) Fact(atom schema.Atom, a, b string) db.Fact {
+	args := make([]string, len(atom.Terms))
+	for i, t := range atom.Terms {
+		if t.IsVar {
+			args[i] = th.Value(t.Name, a, b)
+		} else {
+			args[i] = t.Name
+		}
+	}
+	return db.Fact{Rel: atom.Rel, Args: args}
+}
+
+// declareQ declares every relation of q on a fresh database.
+func declareQ(q schema.Query) *db.Database {
+	d := db.New()
+	for _, a := range q.Atoms() {
+		d.MustDeclare(a.Rel, a.Arity(), a.Key)
+	}
+	return d
+}
+
+// Lemma56 reduces an instance of CERTAINTY(q1), q1 = {R(x|y), ¬S(y|x)},
+// to an instance of CERTAINTY(q), where q has an attack 2-cycle F ⇄ G
+// with F ∈ q⁺ and G ∈ q⁻:
+//
+//   - for every R(a|b) in src, the result includes Θ^a_b(q⁺);
+//   - for every S(b|a) in src, the result includes Θ^a_b(G).
+//
+// Every repair of src satisfies q1 iff every repair of the result
+// satisfies q.
+func Lemma56(q schema.Query, fRel, gRel string, src *db.Database) (*db.Database, error) {
+	if !q.IsNegated(gRel) || q.IsNegated(fRel) {
+		return nil, fmt.Errorf("reduction: Lemma 5.6 needs F ∈ q⁺ and G ∈ q⁻ (got F=%s, G=%s)", fRel, gRel)
+	}
+	th, err := NewTheta(q, fRel, gRel)
+	if err != nil {
+		return nil, err
+	}
+	out := declareQ(q)
+	for _, rf := range src.Facts("R") {
+		a, b := rf.Args[0], rf.Args[1]
+		for _, p := range q.Positive() {
+			if err := out.Insert(th.Fact(p, a, b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	gAtom, _ := q.AtomByRel(gRel)
+	for _, sf := range src.Facts("S") {
+		b, a := sf.Args[0], sf.Args[1]
+		if err := out.Insert(th.Fact(gAtom, a, b)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Q2Appendix returns the Appendix B naming of the canonical two-negation
+// query: {T(x,y), ¬R(x|y), ¬S(y|x)} with T all-key. It is the same query
+// as Q2 up to a renaming of relations.
+func Q2Appendix() schema.Query { return parse.MustQuery("T(x, y), !R(x | y), !S(y | x)") }
+
+// Lemma57 reduces an instance of CERTAINTY over Q2Appendix (relations T
+// positive, R and S negated) to CERTAINTY(q), where q has an attack
+// 2-cycle F ⇄ G with both F, G ∈ q⁻ and F keyed like R (by a), G keyed
+// like S (by b):
+//
+//   - for every T(a|b) in src, the result includes Θ^a_b(q⁺);
+//   - for every R(a|b) in src, the result includes Θ^a_b(F);
+//   - for every S(b|a) in src, the result includes Θ^a_b(G).
+func Lemma57(q schema.Query, fRel, gRel string, src *db.Database) (*db.Database, error) {
+	if !q.IsNegated(gRel) || !q.IsNegated(fRel) {
+		return nil, fmt.Errorf("reduction: Lemma 5.7 needs F, G ∈ q⁻ (got F=%s, G=%s)", fRel, gRel)
+	}
+	th, err := NewTheta(q, fRel, gRel)
+	if err != nil {
+		return nil, err
+	}
+	out := declareQ(q)
+	for _, tf := range src.Facts("T") {
+		a, b := tf.Args[0], tf.Args[1]
+		for _, p := range q.Positive() {
+			if err := out.Insert(th.Fact(p, a, b)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fAtom, _ := q.AtomByRel(fRel)
+	for _, rf := range src.Facts("R") {
+		a, b := rf.Args[0], rf.Args[1]
+		if err := out.Insert(th.Fact(fAtom, a, b)); err != nil {
+			return nil, err
+		}
+	}
+	gAtom, _ := q.AtomByRel(gRel)
+	for _, sf := range src.Facts("S") {
+		b, a := sf.Args[0], sf.Args[1]
+		if err := out.Insert(th.Fact(gAtom, a, b)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package reduction_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// randQ1DB builds a random database over q1's schema (R(x|y), S(y|x)).
+func randQ1DB(rng *rand.Rand) *db.Database {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 2, 1)
+	as := []string{"a1", "a2"}
+	bs := []string{"b1", "b2"}
+	for i := 0; i < 4; i++ {
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("R", as[rng.Intn(2)], bs[rng.Intn(2)]))
+		}
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("S", bs[rng.Intn(2)], as[rng.Intn(2)]))
+		}
+	}
+	return d
+}
+
+// randQ2DB builds a random database over the Appendix-B schema
+// (T(x,y) positive all-key, R(x|y), S(y|x) negated).
+func randQ2DB(rng *rand.Rand) *db.Database {
+	d := db.New()
+	d.MustDeclare("T", 2, 2)
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 2, 1)
+	as := []string{"a1", "a2"}
+	bs := []string{"b1", "b2"}
+	for i := 0; i < 3; i++ {
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("T", as[rng.Intn(2)], bs[rng.Intn(2)]))
+		}
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("R", as[rng.Intn(2)], bs[rng.Intn(2)]))
+		}
+		if rng.Intn(2) == 0 {
+			d.MustInsert(db.F("S", bs[rng.Intn(2)], as[rng.Intn(2)]))
+		}
+	}
+	return d
+}
+
+// Applying the Lemma 5.6 machinery to q1 itself must be the identity
+// mapping: Θ^a_b(R(x,y)) = R(a,b) and Θ^a_b(S(y,x)) = S(b,a).
+func TestThetaOnQ1IsIdentity(t *testing.T) {
+	q := reduction.Q1()
+	th, err := reduction.NewTheta(q, "R", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAtom, _ := q.AtomByRel("R")
+	sAtom, _ := q.AtomByRel("S")
+	if f := th.Fact(rAtom, "a", "b"); !f.Equal(db.F("R", "a", "b")) {
+		t.Errorf("Θ(R) = %v", f)
+	}
+	if f := th.Fact(sAtom, "a", "b"); !f.Equal(db.F("S", "b", "a")) {
+		t.Errorf("Θ(S) = %v", f)
+	}
+}
+
+func TestNewThetaRejectsNonCycle(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	if _, err := reduction.NewTheta(q, "P", "N"); err == nil {
+		t.Error("P and N do not form a 2-cycle; NewTheta should fail")
+	}
+}
+
+// Lemma 5.6 answer preservation on a family of queries with a
+// positive/negated 2-cycle, including extra atoms around the cycle.
+func TestLemma56Preservation(t *testing.T) {
+	cases := []struct {
+		query string
+		f, g  string
+	}{
+		// q1 itself (identity reduction).
+		{"R0(x | y), !S0(y | x)", "R0", "S0"},
+		// The cycle embedded with an extra all-key positive atom.
+		{"R0(x | y), !S0(y | x), A(x, y)", "R0", "S0"},
+		// Extra negated atom riding along (its relation stays empty).
+		{"R0(x | y), !S0(y | x), !M(x | y)", "R0", "S0"},
+		// Wider atoms: F has an extra column.
+		{"R0(x | y, y), !S0(y | x)", "R0", "S0"},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range cases {
+		q := parse.MustQuery(c.query)
+		for trial := 0; trial < 80; trial++ {
+			src := randQ1DB(rng)
+			dst, err := reduction.Lemma56(q, c.f, c.g, src)
+			if err != nil {
+				t.Fatalf("%s: %v", c.query, err)
+			}
+			want := naive.IsCertain(reduction.Q1(), src)
+			got := naive.IsCertain(q, dst)
+			if want != got {
+				t.Fatalf("query %s trial %d: src certain=%v, dst certain=%v\nsrc:\n%s\ndst:\n%s",
+					c.query, trial, want, got, src, dst)
+			}
+		}
+	}
+}
+
+// Lemma 5.7 answer preservation for queries with a two-negated-atom
+// 2-cycle (weakly-guarded).
+func TestLemma57Preservation(t *testing.T) {
+	// Note the canonical q2 itself does NOT qualify as a target here: its
+	// only 2-cycle is T ⇄ S with T positive. Example 4.1's query is the
+	// canonical target with both cycle atoms negated (R ⇄ S).
+	cases := []struct {
+		query string
+		f, g  string
+	}{
+		// Example 4.1 with relations renamed.
+		{"P(x, y), !R0(x | y), !S0(y | x)", "R0", "S0"},
+		// Extra all-key atom riding along.
+		{"P(x, y), !R0(x | y), !S0(y | x), A(x, y)", "R0", "S0"},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, c := range cases {
+		q := parse.MustQuery(c.query)
+		if !q.WeaklyGuarded() {
+			t.Fatalf("%s must be weakly-guarded for Lemma 5.7", c.query)
+		}
+		for trial := 0; trial < 80; trial++ {
+			src := randQ2DB(rng)
+			dst, err := reduction.Lemma57(q, c.f, c.g, src)
+			if err != nil {
+				t.Fatalf("%s: %v", c.query, err)
+			}
+			want := naive.IsCertain(reduction.Q2Appendix(), src)
+			got := naive.IsCertain(q, dst)
+			if want != got {
+				t.Fatalf("query %s trial %d: src certain=%v, dst certain=%v\nsrc:\n%s\ndst:\n%s",
+					c.query, trial, want, got, src, dst)
+			}
+		}
+	}
+}
+
+func TestLemmaPolarityChecks(t *testing.T) {
+	q := parse.MustQuery("T0(x | y), !R0(x | y), !S0(y | x)")
+	src := db.New()
+	if _, err := reduction.Lemma56(q, "R0", "S0", src); err == nil {
+		t.Error("Lemma 5.6 requires F positive")
+	}
+	q2 := parse.MustQuery("R0(x | y), !S0(y | x)")
+	if _, err := reduction.Lemma57(q2, "R0", "S0", src); err == nil {
+		t.Error("Lemma 5.7 requires both atoms negated")
+	}
+}
+
+// Lemma 6.6: encoding a disequality as a fresh all-key relation preserves
+// certainty.
+func TestLemma66EncodeDiseq(t *testing.T) {
+	q := parse.MustQuery("P(x | y)")
+	e := schema.Ext(q).WithDiseq(schema.NewDiseq(
+		[]schema.Term{schema.Var("y")}, []schema.Term{schema.Const("1")}))
+	rng := rand.New(rand.NewSource(29))
+	dom := []string{"1", "2"}
+	for trial := 0; trial < 80; trial++ {
+		d := db.New()
+		d.MustDeclare("P", 2, 1)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("P", dom[rng.Intn(2)], dom[rng.Intn(2)]))
+			}
+		}
+		e2, d2, err := reduction.EncodeDiseq(e, 0, d, "E")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(e2.Diseqs) != 0 {
+			t.Fatal("disequality not removed")
+		}
+		if naive.IsCertainExt(e, d) != naive.IsCertainExt(e2, d2) {
+			t.Fatalf("trial %d: Lemma 6.6 not answer-preserving", trial)
+		}
+	}
+}
+
+func TestEncodeDiseqErrors(t *testing.T) {
+	q := parse.MustQuery("P(x | y)")
+	e := schema.Ext(q)
+	d := db.New()
+	if _, _, err := reduction.EncodeDiseq(e, 0, d, "E"); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	e = e.WithDiseq(schema.NewDiseq([]schema.Term{schema.Var("y")}, []schema.Term{schema.Var("z")}))
+	if _, _, err := reduction.EncodeDiseq(e, 0, d, "E"); err == nil {
+		t.Error("variable right side should fail")
+	}
+	e2 := schema.Ext(q).WithDiseq(schema.NewDiseq([]schema.Term{schema.Var("y")}, []schema.Term{schema.Const("1")}))
+	if _, _, err := reduction.EncodeDiseq(e2, 0, d, "P"); err == nil {
+		t.Error("relation-name collision should fail")
+	}
+}
+
+// Lemma 6.6 through the FO path: the rewriting of q ∪ C evaluated on db
+// agrees with the rewriting of q ∪ {¬E(v⃗)} evaluated on db ∪ {E(c⃗)}.
+func TestLemma66ThroughRewriting(t *testing.T) {
+	q := parse.MustQuery("P(x | y)")
+	e := schema.Ext(q).WithDiseq(schema.NewDiseq(
+		[]schema.Term{schema.Var("y")}, []schema.Term{schema.Const("1")}))
+	f1, err := rewrite.RewriteExt(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(66))
+	dom := []string{"1", "2"}
+	for trial := 0; trial < 60; trial++ {
+		d := db.New()
+		d.MustDeclare("P", 2, 1)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("P", dom[rng.Intn(2)], dom[rng.Intn(2)]))
+			}
+		}
+		e2, d2, err := reduction.EncodeDiseq(e, 0, d, "E")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := rewrite.RewriteExt(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo.Eval(d, f1) != fo.Eval(d2, f2) {
+			t.Fatalf("trial %d: Lemma 6.6 FO path diverged\n%s", trial, d)
+		}
+		// Both also agree with naive.
+		if fo.Eval(d, f1) != naive.IsCertainExt(e, d) {
+			t.Fatalf("trial %d: diseq rewriting diverged from naive", trial)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package rewrite_test
+
+import (
+	"fmt"
+
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+)
+
+func ExampleRewrite() {
+	// Example 4.5 of the paper: q3 = {P(x|y), ¬N(c|y)}.
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	f, _ := rewrite.Rewrite(q)
+	fmt.Println(f)
+	// Output:
+	// ∃x∃z1(P(x, z1)) ∧ ∀z2(N('c', z2) → ∃x(∃z3(P(x, z3)) ∧ ∀z3(P(x, z3) → z3 ≠ z2)))
+}
+
+func ExampleRewrite_cyclic() {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	_, err := rewrite.Rewrite(q)
+	fmt.Println(err)
+	// Output:
+	// rewrite: attack graph is cyclic; CERTAINTY(q) is not in FO
+}
+
+func ExampleRewriteFree() {
+	// The Boolean q1 has no rewriting, but with x free it does.
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	f, _ := rewrite.RewriteFree(q, []string{"x"})
+	fmt.Println(f)
+	// Output:
+	// ∃z1(R(x, z1)) ∧ ∀z1(R(x, z1) → ¬S(z1, x))
+}

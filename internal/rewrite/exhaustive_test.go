@@ -1,0 +1,187 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/direct"
+	"cqa/internal/fo"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// TestExhaustiveTwoAtomQueries enumerates a family of two-atom queries
+// (positive R, optionally negated S in several variable patterns and both
+// signatures) against exhaustive small databases and checks all three
+// engines agree whenever the query is in scope. This complements the
+// random sweeps with a complete check of a finite fragment.
+func TestExhaustiveTwoAtomQueries(t *testing.T) {
+	queries := []string{
+		// Single atom shapes.
+		"R(x | y)",
+		"R(x, y)",
+		"R(x | x)",
+		"R(x | 'a')",
+		// Two-atom join shapes.
+		"R(x | y), S(y | x)",
+		"R(x | y), S(x | y)",
+		"R(x | y), S(y | z)",
+		"R(x, y), S(y | x)",
+		// Negated second atom shapes.
+		"R(x | y), !S(y | x)",
+		"R(x | y), !S(x | y)",
+		"R(x | y), !S(y | y)",
+		"R(x | y), !S(x | x)",
+		"R(x, y), !S(x | y)",
+		"R(x, y), !S(y | x)",
+		"R(x | y), !S('a' | y)",
+		"R(x | y), !S('a' | x)",
+		"R(x | y), !S(y, x)",
+		"R(x | y), !S(x, y)",
+	}
+	// Exhaustive databases over a 2×2 domain: 4 candidate R facts and 4
+	// candidate S facts, all 2^8 subsets.
+	dom := []string{"a", "b"}
+	type pair struct{ a, b string }
+	var pairs []pair
+	for _, u := range dom {
+		for _, v := range dom {
+			pairs = append(pairs, pair{u, v})
+		}
+	}
+
+	for _, src := range queries {
+		q := parse.MustQuery(src)
+		f, errR := rewrite.Rewrite(q)
+		rAtom, _ := q.AtomByRel("R")
+		sAtom, hasS := q.AtomByRel("S")
+		for mask := 0; mask < 1<<8; mask++ {
+			d := db.New()
+			d.MustDeclare("R", rAtom.Arity(), rAtom.Key)
+			if hasS {
+				d.MustDeclare("S", sAtom.Arity(), sAtom.Key)
+			}
+			for i, p := range pairs {
+				if mask&(1<<i) != 0 {
+					d.MustInsert(db.F("R", p.a, p.b))
+				}
+				if hasS && mask&(1<<(i+4)) != 0 {
+					d.MustInsert(db.F("S", p.a, p.b))
+				}
+			}
+			want := naive.IsCertain(q, d)
+			if errR == nil {
+				if got := fo.Eval(d, f); got != want {
+					t.Fatalf("%s: rewriting = %v, naive = %v on mask %d\n%s", src, got, want, mask, d)
+				}
+			}
+			if got, err := direct.IsCertain(q, d); err == nil {
+				if got != want {
+					t.Fatalf("%s: Algorithm 1 = %v, naive = %v on mask %d\n%s", src, got, want, mask, d)
+				}
+			} else if errR == nil {
+				t.Fatalf("%s: rewriting exists but Algorithm 1 rejected: %v", src, err)
+			}
+		}
+		// The two front ends must agree on scope: rewriting succeeds
+		// exactly when Algorithm 1 accepts.
+		_, errD := direct.IsCertain(q, db.New())
+		if (errR == nil) != (errD == nil) {
+			t.Fatalf("%s: rewrite err = %v but direct err = %v", src, errR, errD)
+		}
+	}
+}
+
+// Three-atom join with a negated atom spanning both join variables.
+func TestJoinWithNegation(t *testing.T) {
+	q := parse.MustQuery("R(x | y), S(y | z), !N(y | z)")
+	if _, err := rewrite.Rewrite(q); err != nil {
+		t.Fatalf("expected FO: %v", err)
+	}
+	dom := []string{"a", "b"}
+	var facts []db.Fact
+	for _, u := range dom {
+		for _, v := range dom {
+			facts = append(facts,
+				db.F("R", u, v), db.F("S", u, v), db.F("N", u, v))
+		}
+	}
+	// Sampled sweep over the 2^12 subsets (every 7th mask).
+	for mask := 0; mask < 1<<12; mask += 7 {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 2, 1)
+		d.MustDeclare("N", 2, 1)
+		for i, f := range facts {
+			if mask&(1<<i) != 0 {
+				d.MustInsert(f)
+			}
+		}
+		checkAgainstNaive(t, q, d)
+	}
+}
+
+// A query whose negated atom has a ground key and a repeated non-key
+// variable — the "slightly more complicated" rewriting case with match
+// constraints z_{j'} = z_{j0}. (Patterns like !S(y | y, x) make the attack
+// graph cyclic, so the acyclic exemplar repeats the variable within the
+// non-key positions of a ground-keyed atom.)
+func TestNegatedAtomKeyNonKeyRepeat(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S('k' | y, y)")
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dom := []string{"a", "b"}
+	for mask := 0; mask < 1<<6; mask++ {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 3, 1)
+		i := 0
+		for _, u := range dom {
+			for _, v := range dom {
+				if mask&(1<<i) != 0 {
+					d.MustInsert(db.F("R", u, v))
+				}
+				i++
+			}
+		}
+		// S facts: matching the (y, y) pattern and not.
+		if mask&(1<<4) != 0 {
+			d.MustInsert(db.F("S", "k", "a", "a")) // matches with y = a
+		}
+		if mask&(1<<5) != 0 {
+			d.MustInsert(db.F("S", "k", "a", "b")) // never matches
+		}
+		cls, errR := rewrite.Rewrite(q)
+		if errR != nil {
+			t.Fatalf("rewrite: %v", errR)
+		}
+		want := naive.IsCertain(q, d)
+		if got := fo.Eval(d, cls); got != want {
+			t.Fatalf("rewriting = %v, naive = %v on\n%s", got, want, d)
+		}
+	}
+}
+
+// Queries with only negated non-ground atoms are impossible (safety), but
+// fully ground negated atoms with an all-key positive witness are fine.
+func TestGroundNegatedOnly(t *testing.T) {
+	q := schema.NewQuery(
+		schema.Pos(schema.NewAtom("W", 1, schema.Const("w"))),
+		schema.Neg(schema.NewAtom("N", 1, schema.Const("k"), schema.Const("v"))),
+	)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := db.New()
+	d.MustDeclare("W", 1, 1)
+	d.MustDeclare("N", 2, 1)
+	d.MustInsert(db.F("W", "w"))
+	checkAgainstNaive(t, q, d)
+	d.MustInsert(db.F("N", "k", "v"))
+	checkAgainstNaive(t, q, d)
+	d.MustInsert(db.F("N", "k", "u"))
+	checkAgainstNaive(t, q, d)
+}

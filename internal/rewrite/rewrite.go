@@ -1,0 +1,407 @@
+// Package rewrite constructs consistent first-order rewritings for queries
+// in sjfBCQ¬ with weakly-guarded negation and an acyclic attack graph,
+// following the proof of Lemma 6.1 (and Algorithm 1) of Koutris & Wijsen,
+// PODS 2018:
+//
+//   - repeatedly pick an unattacked, non-all-key atom F;
+//   - reify the variables of key(F) (Corollary 6.9): treat them as
+//     constants and bind them with an outer ∃;
+//   - if F is positive, assert that F's block is non-empty and that every
+//     fact of the block matches F and certifies the rest of the query
+//     (universal quantification over the block);
+//   - if F is negated, assert the rest of the query and, for every fact of
+//     F's block, the rest of the query strengthened with a disequality
+//     (Lemmas 6.2/6.5); disequalities are carried natively rather than
+//     through the fresh all-key relation E of Lemma 6.6, which is
+//     equivalent because all-key atoms neither attack nor contribute
+//     functional dependencies;
+//   - when only all-key atoms remain, emit the query itself: a database is
+//     its own repair on all-key relations.
+//
+// Reified ("frozen") variables are represented during recursion as marked
+// constants so that the attack-graph machinery treats them as constants,
+// exactly as the proof does; the emitted formula re-binds them with real
+// quantifiers.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cqa/internal/attack"
+	"cqa/internal/fo"
+	"cqa/internal/schema"
+)
+
+// marker prefixes the name of a frozen variable embedded in a constant.
+// It is non-printable, so it cannot collide with user constants.
+const marker = "\x01"
+
+func freeze(name string) schema.Term  { return schema.Const(marker + name) }
+func isFrozen(t schema.Term) bool     { return !t.IsVar && strings.HasPrefix(t.Name, marker) }
+func frozenName(t schema.Term) string { return strings.TrimPrefix(t.Name, marker) }
+
+// term2fo converts a rewriting-internal term to a formula term, turning
+// frozen constants back into variables.
+func term2fo(t schema.Term) schema.Term {
+	if isFrozen(t) {
+		return schema.Var(frozenName(t))
+	}
+	return t
+}
+
+// ErrNotWeaklyGuarded reports that the query is outside the scope of
+// Theorem 4.3.
+var ErrNotWeaklyGuarded = errors.New("rewrite: negation is not weakly-guarded")
+
+// ErrCyclic reports that the attack graph is cyclic, so by Theorem 4.3 no
+// consistent first-order rewriting exists.
+var ErrCyclic = errors.New("rewrite: attack graph is cyclic; CERTAINTY(q) is not in FO")
+
+// PickStrategy selects which unattacked non-all-key atom the rewriting
+// eliminates first when several qualify. Any strategy yields a correct
+// rewriting (the proof of Lemma 6.1 works for every valid pick); the
+// choice affects only the shape and size of the formula, which the
+// ablation benchmarks measure.
+type PickStrategy int
+
+// Pick strategies.
+const (
+	// PickFirst takes the first unattacked atom in query order (the
+	// default, and the order used in the golden tests).
+	PickFirst PickStrategy = iota
+	// PickLast takes the last unattacked atom in query order.
+	PickLast
+	// PickPositiveFirst prefers positive atoms over negated ones.
+	PickPositiveFirst
+	// PickNegatedFirst prefers negated atoms over positive ones.
+	PickNegatedFirst
+)
+
+// Options configures the rewriting construction.
+type Options struct {
+	Pick PickStrategy
+}
+
+// Rewrite returns a consistent first-order rewriting for q: a sentence φ
+// such that for every database db, db ⊨ φ iff q is true in every repair of
+// db. It fails when q is invalid, negation is not weakly-guarded, or the
+// attack graph is cyclic.
+func Rewrite(q schema.Query) (fo.Formula, error) {
+	return RewriteExt(schema.Ext(q))
+}
+
+// RewriteOpts is Rewrite with explicit options.
+func RewriteOpts(q schema.Query, opt Options) (fo.Formula, error) {
+	return rewriteExtOpts(schema.Ext(q), opt)
+}
+
+// RewriteExt is Rewrite for extended queries with disequalities
+// (sjfBCQ¬≠, Definition 6.3).
+func RewriteExt(e schema.ExtQuery) (fo.Formula, error) {
+	return rewriteExtOpts(e, Options{})
+}
+
+func rewriteExtOpts(e schema.ExtQuery, opt Options) (fo.Formula, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	for _, d := range e.Diseqs {
+		if len(d.Left) != len(d.Right) {
+			return nil, fmt.Errorf("rewrite: malformed disequality %s", d)
+		}
+		for _, t := range d.Right {
+			if t.IsVar {
+				return nil, fmt.Errorf("rewrite: disequality %s has a variable right-hand side", d)
+			}
+		}
+	}
+	if !e.WeaklyGuarded() {
+		return nil, ErrNotWeaklyGuarded
+	}
+	if !attack.New(e.Query).IsAcyclic() {
+		return nil, ErrCyclic
+	}
+	r := &rewriter{used: make(map[string]bool), opt: opt}
+	for v := range e.Vars() {
+		r.used[v] = true
+	}
+	// Pre-frozen variables (free variables of RewriteFree) appear as
+	// marked constants; their names are taken too.
+	for _, l := range e.Lits {
+		for _, t := range l.Atom.Terms {
+			if isFrozen(t) {
+				r.used[frozenName(t)] = true
+			}
+		}
+	}
+	f, err := r.rewrite(e)
+	if err != nil {
+		return nil, err
+	}
+	return fo.Simplify(f), nil
+}
+
+type rewriter struct {
+	used map[string]bool
+	next int
+	opt  Options
+}
+
+// fresh returns a variable name unused so far.
+func (r *rewriter) fresh() string {
+	for {
+		r.next++
+		name := "z" + strconv.Itoa(r.next)
+		if !r.used[name] {
+			r.used[name] = true
+			return name
+		}
+	}
+}
+
+func (r *rewriter) rewrite(e schema.ExtQuery) (fo.Formula, error) {
+	f, negated, ok := pick(e.Query, r.opt.Pick)
+	if !ok {
+		return baseCase(e), nil
+	}
+
+	// Reify key(F): Corollary 6.9 lets us treat the (unattacked) key
+	// variables as constants and existentially quantify the rewriting.
+	keyVars := orderedVars(f.KeyTerms(), nil)
+	if len(keyVars) > 0 {
+		sub := make(map[string]schema.Term, len(keyVars))
+		for _, v := range keyVars {
+			sub[v] = freeze(v)
+		}
+		e = e.Substitute(sub)
+		f = f.Substitute(sub)
+	}
+
+	var body fo.Formula
+	var err error
+	if negated {
+		body, err = r.negatedCase(e, f)
+	} else {
+		body, err = r.positiveCase(e, f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fo.NewExists(keyVars, body), nil
+}
+
+// pick selects an unattacked atom that is not all-key, returning the atom
+// and whether it occurs negated. ok=false means all remaining atoms are
+// all-key (the base case). The attack graph of a query that reaches this
+// point is acyclic (Lemma 6.10 and atom elimination preserve acyclicity),
+// so an unattacked non-all-key atom exists whenever a non-all-key atom
+// does.
+func pick(q schema.Query, strategy PickStrategy) (f schema.Atom, negated, ok bool) {
+	any := false
+	for _, l := range q.Lits {
+		if !l.Atom.AllKey() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return schema.Atom{}, false, false
+	}
+	g := attack.New(q)
+	var candidates []string
+	for _, rel := range g.Atoms() {
+		a, _ := q.AtomByRel(rel)
+		if a.AllKey() || g.InDegree(rel) != 0 {
+			continue
+		}
+		candidates = append(candidates, rel)
+	}
+	if len(candidates) == 0 {
+		panic(fmt.Sprintf("rewrite: no unattacked non-all-key atom in %s (attack graph cyclic?)", q))
+	}
+	chosen := candidates[0]
+	switch strategy {
+	case PickLast:
+		chosen = candidates[len(candidates)-1]
+	case PickPositiveFirst:
+		for _, rel := range candidates {
+			if !q.IsNegated(rel) {
+				chosen = rel
+				break
+			}
+		}
+	case PickNegatedFirst:
+		for _, rel := range candidates {
+			if q.IsNegated(rel) {
+				chosen = rel
+				break
+			}
+		}
+	}
+	a, _ := q.AtomByRel(chosen)
+	return a, q.IsNegated(chosen), true
+}
+
+// positiveCase handles F ∈ q⁺ with a variable-free key: the rewriting is
+//
+//	∃z⃗ R(k⃗, z⃗) ∧ ∀z⃗ ( R(k⃗, z⃗) → match(z⃗, s⃗) ∧ ψ )
+//
+// where k⃗ is the (ground) key of F, s⃗ its non-key terms, match equates
+// z_j with constants and with repeated-variable positions, and ψ rewrites
+// q \ {F} with the non-key variables frozen to the z's. This covers the
+// paper's "slightly more complicated" cases where s⃗ contains constants or
+// double occurrences of the same variable.
+func (r *rewriter) positiveCase(e schema.ExtQuery, f schema.Atom) (fo.Formula, error) {
+	zs, matchEqs, sub := r.bindNonKey(f)
+	rest := schema.ExtQuery{Query: e.Query.Without(f.Rel), Diseqs: e.Diseqs}.Substitute(sub)
+	psi, err := r.rewrite(rest)
+	if err != nil {
+		return nil, err
+	}
+	keyTerms := foTerms(f.KeyTerms())
+	zTerms := make([]schema.Term, len(zs))
+	for i, z := range zs {
+		zTerms[i] = schema.Var(z)
+	}
+	atom := fo.Atom{Rel: f.Rel, Key: f.Key, Terms: append(keyTerms, zTerms...)}
+	inner := fo.NewAnd(append(matchEqs, psi)...)
+	return fo.NewAnd(
+		fo.NewExists(zs, atom),
+		fo.NewForall(zs, fo.Implies{L: atom, R: inner}),
+	), nil
+}
+
+// negatedCase handles F ∈ q⁻ with a variable-free key, following
+// Lemmas 6.2 and 6.5: the rewriting is
+//
+//	ψ₀ ∧ ∀z⃗ ( R(k⃗, z⃗) ∧ match(z⃗, s⃗) → χ(z⃗) )
+//
+// where ψ₀ rewrites q \ {¬F} and χ rewrites q \ {¬F} with the added
+// disequality y⃗ ≠ z⃗ (y⃗ the distinct non-key variables of F). When F has
+// no non-key variables the universal part degenerates to ¬R(k⃗, s⃗)
+// (Lemma 6.2).
+func (r *rewriter) negatedCase(e schema.ExtQuery, f schema.Atom) (fo.Formula, error) {
+	rest := schema.ExtQuery{Query: e.Query.Without(f.Rel), Diseqs: e.Diseqs}
+	psi0, err := r.rewrite(rest)
+	if err != nil {
+		return nil, err
+	}
+
+	yVars := orderedVars(f.NonKeyTerms(), nil)
+	if len(yVars) == 0 {
+		// s⃗ is ground: the certainty condition is simply F ∉ db.
+		atom := fo.Atom{Rel: f.Rel, Key: f.Key, Terms: foTerms(f.Terms)}
+		return fo.NewAnd(psi0, fo.Not{F: atom}), nil
+	}
+
+	zs, matchEqs, sub := r.bindNonKey(f)
+	// The added disequality ⟨y⃗⟩ ≠ ⟨proj(z⃗)⟩: each distinct non-key
+	// variable against the frozen z of its first position.
+	left := make([]schema.Term, len(yVars))
+	right := make([]schema.Term, len(yVars))
+	for i, y := range yVars {
+		left[i] = schema.Var(y)
+		right[i] = sub[y]
+	}
+	chiQuery := rest.WithDiseq(schema.NewDiseq(left, right))
+	chi, err := r.rewrite(chiQuery)
+	if err != nil {
+		return nil, err
+	}
+
+	keyTerms := foTerms(f.KeyTerms())
+	zTerms := make([]schema.Term, len(zs))
+	for i, z := range zs {
+		zTerms[i] = schema.Var(z)
+	}
+	atom := fo.Atom{Rel: f.Rel, Key: f.Key, Terms: append(keyTerms, zTerms...)}
+	guard := fo.NewAnd(append([]fo.Formula{atom}, matchEqs...)...)
+	return fo.NewAnd(psi0, fo.NewForall(zs, fo.Implies{L: guard, R: chi})), nil
+}
+
+// bindNonKey introduces one fresh variable z_j per non-key position of f
+// and returns: the z names, the match constraints (z_j = c for constant
+// positions, z_j = z_{j₀} for repeated variables), and the substitution
+// sending each distinct non-key variable to its frozen first-position z.
+func (r *rewriter) bindNonKey(f schema.Atom) (zs []string, matchEqs []fo.Formula, sub map[string]schema.Term) {
+	sub = make(map[string]schema.Term)
+	firstPos := make(map[string]string) // var -> z name of first occurrence
+	for _, t := range f.NonKeyTerms() {
+		z := r.fresh()
+		zs = append(zs, z)
+		if t.IsVar {
+			if prev, seen := firstPos[t.Name]; seen {
+				matchEqs = append(matchEqs, fo.Eq{L: schema.Var(z), R: schema.Var(prev)})
+			} else {
+				firstPos[t.Name] = z
+				sub[t.Name] = freeze(z)
+			}
+		} else {
+			matchEqs = append(matchEqs, fo.Eq{L: schema.Var(z), R: term2fo(t)})
+		}
+	}
+	return zs, matchEqs, sub
+}
+
+// baseCase emits the query itself: all remaining atoms are all-key, so the
+// database restricted to them is consistent and is its own repair.
+func baseCase(e schema.ExtQuery) fo.Formula {
+	var conj []fo.Formula
+	var order []string
+	seen := make(schema.VarSet)
+	for _, l := range e.Lits {
+		order = appendVars(order, seen, l.Atom.Terms)
+		atom := fo.Atom{Rel: l.Atom.Rel, Key: l.Atom.Key, Terms: foTerms(l.Atom.Terms)}
+		if l.Neg {
+			conj = append(conj, fo.Not{F: atom})
+		} else {
+			conj = append(conj, atom)
+		}
+	}
+	for _, d := range e.Diseqs {
+		order = appendVars(order, seen, d.Left)
+		var disj []fo.Formula
+		for i := range d.Left {
+			disj = append(disj, fo.Neq(term2fo(d.Left[i]), term2fo(d.Right[i])))
+		}
+		conj = append(conj, fo.NewOr(disj...))
+	}
+	return fo.NewExists(order, fo.NewAnd(conj...))
+}
+
+// orderedVars returns the distinct variable names of terms in order of
+// first occurrence, appending to acc.
+func orderedVars(terms []schema.Term, acc []string) []string {
+	seen := make(map[string]bool, len(acc))
+	for _, v := range acc {
+		seen[v] = true
+	}
+	for _, t := range terms {
+		if t.IsVar && !seen[t.Name] {
+			seen[t.Name] = true
+			acc = append(acc, t.Name)
+		}
+	}
+	return acc
+}
+
+func appendVars(order []string, seen schema.VarSet, terms []schema.Term) []string {
+	for _, t := range terms {
+		if t.IsVar && !seen.Has(t.Name) {
+			seen[t.Name] = true
+			order = append(order, t.Name)
+		}
+	}
+	return order
+}
+
+func foTerms(ts []schema.Term) []schema.Term {
+	out := make([]schema.Term, len(ts))
+	for i, t := range ts {
+		out[i] = term2fo(t)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/direct"
+	"cqa/internal/fo"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// checkAgainstNaive asserts that the rewriting of q and Algorithm 1 agree
+// with repair enumeration on the given database.
+func checkAgainstNaive(t *testing.T, q schema.Query, d *db.Database) {
+	t.Helper()
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		t.Fatalf("declare: %v", err)
+	}
+	want := naive.IsCertain(q, d)
+
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatalf("rewrite(%s): %v", q, err)
+	}
+	if got := fo.Eval(d, f); got != want {
+		t.Errorf("rewriting disagrees with naive on\n%s\nquery %s\nrewriting %s\ngot %v, want %v",
+			d, q, f, got, want)
+	}
+
+	got, err := direct.IsCertain(q, d)
+	if err != nil {
+		t.Fatalf("direct(%s): %v", q, err)
+	}
+	if got != want {
+		t.Errorf("Algorithm 1 disagrees with naive on\n%s\nquery %s: got %v, want %v", d, q, got, want)
+	}
+}
+
+// Example 4.5: the rewriting of q3 = {P(x|y), ¬N('c'|y)} exists and has
+// the documented shape: block existence plus, for every N-fact, a P-block
+// avoiding the value.
+func TestQ3RewritingShape(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	for _, frag := range []string{"P(", "N('c'", "∀", "∃", "≠"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rewriting %q lacks fragment %q", s, frag)
+		}
+	}
+}
+
+// Exhaustive check of q3 on all small databases over a 2×2 domain.
+func TestQ3Exhaustive(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	// Candidate facts: P(a|1), P(a|2), P(b|1), P(b|2), N(c|1), N(c|2).
+	type fact = db.Fact
+	all := []fact{
+		db.F("P", "a", "1"), db.F("P", "a", "2"),
+		db.F("P", "b", "1"), db.F("P", "b", "2"),
+		db.F("N", "c", "1"), db.F("N", "c", "2"),
+	}
+	for mask := 0; mask < 1<<len(all); mask++ {
+		d := db.New()
+		d.MustDeclare("P", 2, 1)
+		d.MustDeclare("N", 2, 1)
+		for i, f := range all {
+			if mask&(1<<i) != 0 {
+				d.MustInsert(f)
+			}
+		}
+		checkAgainstNaive(t, q, d)
+	}
+}
+
+// The queries qa and qb of Example 4.6 are acyclic and must agree with
+// naive enumeration on random databases.
+func TestMayorsQueries(t *testing.T) {
+	queries := []schema.Query{
+		parse.MustQuery("Lives(p | t), !Born(p | t), !Likes(p, t)"),
+		parse.MustQuery("Likes(p, t), !Born(p | t), !Lives(p | t)"),
+	}
+	rng := rand.New(rand.NewSource(1))
+	people := []string{"ann", "bob", "cy"}
+	towns := []string{"ghent", "mons", "liege"}
+	for trial := 0; trial < 150; trial++ {
+		d := db.New()
+		d.MustDeclare("Lives", 2, 1)
+		d.MustDeclare("Born", 2, 1)
+		d.MustDeclare("Likes", 2, 2)
+		d.MustDeclare("Mayor", 2, 1)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("Lives", people[rng.Intn(3)], towns[rng.Intn(3)]))
+			}
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("Born", people[rng.Intn(3)], towns[rng.Intn(3)]))
+			}
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("Likes", people[rng.Intn(3)], towns[rng.Intn(3)]))
+			}
+		}
+		for _, q := range queries {
+			checkAgainstNaive(t, q, d)
+		}
+	}
+}
+
+// q_Hall with ℓ = 2: rewriting agrees with naive on random instances.
+func TestQHallRandom(t *testing.T) {
+	q := parse.MustQuery("S(x), !N1('c' | x), !N2('c' | x)")
+	rng := rand.New(rand.NewSource(7))
+	dom := []string{"1", "2", "3"}
+	for trial := 0; trial < 200; trial++ {
+		d := db.New()
+		d.MustDeclare("S", 1, 1)
+		d.MustDeclare("N1", 2, 1)
+		d.MustDeclare("N2", 2, 1)
+		for _, v := range dom {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("S", v))
+			}
+			if rng.Intn(3) == 0 {
+				d.MustInsert(db.F("N1", "c", v))
+			}
+			if rng.Intn(3) == 0 {
+				d.MustInsert(db.F("N2", "c", v))
+			}
+		}
+		checkAgainstNaive(t, q, d)
+	}
+}
+
+// A cyclic query must be rejected with ErrCyclic.
+func TestCyclicRejected(t *testing.T) {
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	if _, err := rewrite.Rewrite(q); err != rewrite.ErrCyclic {
+		t.Fatalf("err = %v, want ErrCyclic", err)
+	}
+}
+
+// A non-weakly-guarded query must be rejected.
+func TestNotWeaklyGuardedRejected(t *testing.T) {
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	if _, err := rewrite.Rewrite(q); err != rewrite.ErrNotWeaklyGuarded {
+		t.Fatalf("err = %v, want ErrNotWeaklyGuarded", err)
+	}
+}
+
+// Negation-free queries: the machinery must coincide with the classical
+// rewriting on a simple acyclic join.
+func TestNegationFreeJoin(t *testing.T) {
+	q := parse.MustQuery("R(x | y), S(y | z)")
+	rng := rand.New(rand.NewSource(11))
+	dom := []string{"1", "2", "3"}
+	for trial := 0; trial < 200; trial++ {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 2, 1)
+		for i := 0; i < 5; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("R", dom[rng.Intn(3)], dom[rng.Intn(3)]))
+			}
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("S", dom[rng.Intn(3)], dom[rng.Intn(3)]))
+			}
+		}
+		checkAgainstNaive(t, q, d)
+	}
+}
+
+// Constants and repeated variables in non-key positions (the "slightly
+// more complicated" rewriting cases).
+func TestConstantAndRepeatedNonKey(t *testing.T) {
+	queries := []schema.Query{
+		parse.MustQuery("P(x | y, y)"),
+		parse.MustQuery("P(x | 'a', y)"),
+		parse.MustQuery("P(x | y), !N('c' | 'a', y, y)"),
+		parse.MustQuery("P(x | y, y), !N('c' | y)"),
+	}
+	rng := rand.New(rand.NewSource(13))
+	dom := []string{"a", "b", "c", "1"}
+	for trial := 0; trial < 150; trial++ {
+		for _, q := range queries {
+			d := db.New()
+			for _, a := range q.Atoms() {
+				d.MustDeclare(a.Rel, a.Arity(), a.Key)
+				for i := 0; i < 4; i++ {
+					if rng.Intn(2) == 0 {
+						args := make([]string, a.Arity())
+						for j := range args {
+							args[j] = dom[rng.Intn(len(dom))]
+						}
+						d.MustInsert(db.Fact{Rel: a.Rel, Args: args})
+					}
+				}
+			}
+			checkAgainstNaive(t, q, d)
+		}
+	}
+}
+
+// A ground negated atom (Lemma 6.2): q is certain iff the fact is absent
+// and the rest is certain.
+func TestGroundNegatedAtom(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | 'd')")
+	d := db.New()
+	d.MustDeclare("P", 2, 1)
+	d.MustDeclare("N", 2, 1)
+	d.MustInsert(db.F("P", "a", "1"))
+	checkAgainstNaive(t, q, d)
+	d.MustInsert(db.F("N", "c", "d"))
+	checkAgainstNaive(t, q, d)
+	d.MustInsert(db.F("N", "c", "e"))
+	checkAgainstNaive(t, q, d)
+}

@@ -1,0 +1,89 @@
+package special
+
+import (
+	"fmt"
+	"sort"
+
+	"cqa/internal/db"
+	"cqa/internal/graphx"
+	"cqa/internal/matching"
+)
+
+// Q1Certain decides CERTAINTY(q1) for q1 = {R(x|y), ¬S(y|x)} on an
+// arbitrary database in polynomial time, via bipartite matching. The
+// problem is NL-hard and not in FO (Lemma 5.2), but it is in P:
+//
+// A repair falsifies q1 iff every chosen R-fact R(a, b) has S(b, a)
+// chosen too. Since the S-block of b can serve only one a, a falsifying
+// repair corresponds exactly to a system of distinct representatives:
+// an injective map a ↦ b_a over the R-block keys with R(a, b_a) ∈ db and
+// S(b_a, a) ∈ db. Such a system exists iff the "mutual graph"
+// {(a, b) : R(a,b) ∈ db and S(b,a) ∈ db} has a matching saturating all
+// R-block keys — decidable by Hopcroft–Karp. CERTAINTY(q1) is the
+// negation.
+//
+// This generalizes Example 1.1 from the "every fact is mutual" setting to
+// arbitrary databases.
+func Q1Certain(d *db.Database) bool {
+	rRel := d.Relation("R")
+	if rRel == nil || rRel.Size() == 0 {
+		// No R-facts: q1 is false in the unique (empty-R) repair.
+		return false
+	}
+	girls := rRel.ColumnValues(0) // R-block keys
+	boySet := map[string]bool{}
+	adj := make(map[string][]string)
+	for _, f := range d.Facts("R") {
+		a, b := f.Args[0], f.Args[1]
+		if d.Has(db.F("S", b, a)) {
+			adj[a] = append(adj[a], b)
+			boySet[b] = true
+		}
+	}
+	boys := make([]string, 0, len(boySet))
+	for b := range boySet {
+		boys = append(boys, b)
+	}
+	sort.Strings(boys)
+	bg := graphx.NewBipartite(girls, boys)
+	for a, bs := range adj {
+		seen := map[string]bool{}
+		for _, b := range bs {
+			if !seen[b] {
+				seen[b] = true
+				if err := bg.AddEdge(a, b); err != nil {
+					panic(err) // unreachable: endpoints declared
+				}
+			}
+		}
+	}
+	saturating := len(matching.MaxMatching(bg)) == len(girls)
+	return !saturating
+}
+
+// QHallCertain decides CERTAINTY(q_Hall) for
+// q_Hall = {S(x), ¬N₁(c|x), …, ¬N_ℓ(c|x)} on an arbitrary database in
+// polynomial time via S-COVERING (Examples 1.2 and 6.12): a repair
+// falsifies q_Hall iff the choices of the Nᵢ(c|·) blocks cover every
+// S-value, which is a left-saturating bipartite matching question. The
+// rewriting of Figure 2 answers the same question in FO but with size
+// exponential in ℓ; this decider is the matching-based alternative.
+func QHallCertain(d *db.Database, l int) (bool, error) {
+	if l < 0 {
+		return false, fmt.Errorf("special: negative ℓ")
+	}
+	sRel := d.Relation("S")
+	if sRel == nil || sRel.Size() == 0 {
+		return false, nil // no satisfying valuation at all
+	}
+	sVals := sRel.ColumnValues(0)
+	inst := matching.SCoveringInstance{S: sVals, T: make([][]string, l)}
+	for i := 1; i <= l; i++ {
+		for _, f := range d.Facts(fmt.Sprintf("N%d", i)) {
+			if f.Args[0] == "c" {
+				inst.T[i-1] = append(inst.T[i-1], f.Args[1])
+			}
+		}
+	}
+	return !inst.Solvable(), nil
+}

@@ -1,0 +1,126 @@
+package special_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/reduction"
+	"cqa/internal/special"
+)
+
+// Q1Certain on the Figure 1 database must agree with enumeration: not
+// certain, because the matching Alice–George / Maria–Bob exists.
+func TestQ1CertainFigure1(t *testing.T) {
+	d := parse.MustDatabase(`
+		R(Alice | Bob)
+		R(Alice | George)
+		R(Maria | Bob)
+		R(Maria | John)
+		S(Bob | Alice)
+		S(Bob | Maria)
+		S(George | Alice)
+		S(George | Maria)
+	`)
+	if special.Q1Certain(d) {
+		t.Fatal("Figure 1: q1 should not be certain")
+	}
+}
+
+// Exhaustive agreement with repair enumeration over all small databases.
+func TestQ1CertainExhaustive(t *testing.T) {
+	q1 := reduction.Q1()
+	var facts []db.Fact
+	for _, a := range []string{"a1", "a2"} {
+		for _, b := range []string{"b1", "b2"} {
+			facts = append(facts, db.F("R", a, b), db.F("S", b, a))
+		}
+	}
+	for mask := 0; mask < 1<<len(facts); mask++ {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 2, 1)
+		for i, f := range facts {
+			if mask&(1<<i) != 0 {
+				d.MustInsert(f)
+			}
+		}
+		want := naive.IsCertain(q1, d)
+		if got := special.Q1Certain(d); got != want {
+			t.Fatalf("mask %d: matching decider = %v, naive = %v\n%s", mask, got, want, d)
+		}
+	}
+}
+
+// Random agreement with larger domains (beyond exhaustive reach).
+func TestQ1CertainRandom(t *testing.T) {
+	q1 := reduction.Q1()
+	rng := rand.New(rand.NewSource(12))
+	as := []string{"a1", "a2", "a3"}
+	bs := []string{"b1", "b2", "b3"}
+	for trial := 0; trial < 300; trial++ {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		d.MustDeclare("S", 2, 1)
+		for i := 0; i < 6; i++ {
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("R", as[rng.Intn(3)], bs[rng.Intn(3)]))
+			}
+			if rng.Intn(2) == 0 {
+				d.MustInsert(db.F("S", bs[rng.Intn(3)], as[rng.Intn(3)]))
+			}
+		}
+		want := naive.IsCertain(q1, d)
+		if got := special.Q1Certain(d); got != want {
+			t.Fatalf("trial %d: matching decider = %v, naive = %v\n%s", trial, got, want, d)
+		}
+	}
+}
+
+// QHallCertain agrees with repair enumeration on random S-COVERING
+// databases, including stray Nᵢ facts with non-'c' keys (which are
+// irrelevant to the query).
+func TestQHallCertainRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		l := 1 + rng.Intn(3)
+		inst := gen.SCovering(rng, rng.Intn(4), l, 0.5)
+		d := reduction.SCoveringToQHall(inst)
+		if rng.Intn(2) == 0 {
+			// Stray facts in other blocks must not change the answer.
+			d.MustInsert(db.F("N1", "other", "junk"))
+		}
+		q := reduction.QHall(l)
+		want := naive.IsCertain(q, d)
+		got, err := special.QHallCertain(d, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: matching decider = %v, naive = %v\n%s", trial, got, want, d)
+		}
+	}
+}
+
+func TestQHallCertainEdges(t *testing.T) {
+	d := db.New()
+	got, err := special.QHallCertain(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("no S facts: not certain")
+	}
+	if _, err := special.QHallCertain(d, -1); err == nil {
+		t.Error("negative ℓ should fail")
+	}
+}
+
+func TestQ1CertainEmpty(t *testing.T) {
+	if special.Q1Certain(db.New()) {
+		t.Error("empty database: q1 not certain")
+	}
+}

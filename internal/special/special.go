@@ -1,0 +1,132 @@
+// Package special implements the ad-hoc first-order decision procedure of
+// Example 7.1 for the query
+//
+//	q4 = {X(x), Y(y), ¬R(x|y), ¬S(y|x)}
+//
+// whose negation is NOT weakly-guarded and whose attack graph is cyclic,
+// yet CERTAINTY(q4) is in FO by a counting argument: with m X-facts and n
+// Y-facts, a repair can cover at most m + n of the m·n pairs, so whenever
+// m·n > m + n every repair satisfies q4. The remaining degenerate cases
+// (m = 1, n = 1, m = n = 2) are decided directly. This demonstrates the
+// paper's point that rewriting-by-reification is not the only route to FO.
+package special
+
+import "cqa/internal/db"
+
+// Q4Schema declares the relations of q4 on a database.
+func Q4Schema(d *db.Database) {
+	d.MustDeclare("X", 1, 1)
+	d.MustDeclare("Y", 1, 1)
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 2, 1)
+}
+
+// Q4Certain reports whether q4 is true in every repair of d, in time
+// polynomial in the database (the procedure corresponds to a fixed
+// first-order sentence).
+func Q4Certain(d *db.Database) bool {
+	xs := values(d, "X")
+	ys := values(d, "Y")
+	m, n := len(xs), len(ys)
+	if m == 0 || n == 0 {
+		// No valuation can satisfy the positive part.
+		return false
+	}
+	if m*n > m+n {
+		// The counting argument: no repair can cover all pairs.
+		return true
+	}
+	if m == 1 {
+		return !coverableOneX(d, xs[0], ys)
+	}
+	if n == 1 {
+		return !coverableOneY(d, ys[0], xs)
+	}
+	// m == n == 2: a repair falsifying q4 exists iff db includes
+	// {R(a1,b_{j1}), R(a2,b_{j2}), S(b_{j1},a2), S(b_{j2},a1)} with
+	// j1 ≠ j2 (Example 7.1).
+	a1, a2 := xs[0], xs[1]
+	for j1 := 0; j1 < 2; j1++ {
+		j2 := 1 - j1
+		if d.Has(db.F("R", a1, ys[j1])) && d.Has(db.F("R", a2, ys[j2])) &&
+			d.Has(db.F("S", ys[j1], a2)) && d.Has(db.F("S", ys[j2], a1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// coverableOneX decides, for a single X-fact a, whether some repair covers
+// every pair (a, b): the repair's unique R(a, ·) fact covers at most one
+// b, and every other b must be covered by choosing S(b, a) in its S-block,
+// which is possible exactly when S(b, a) ∈ db.
+func coverableOneX(d *db.Database, a string, ys []string) bool {
+	var uncovered []string
+	for _, b := range ys {
+		if !d.Has(db.F("S", b, a)) {
+			uncovered = append(uncovered, b)
+		}
+	}
+	switch len(uncovered) {
+	case 0:
+		return true
+	case 1:
+		return d.Has(db.F("R", a, uncovered[0]))
+	default:
+		return false
+	}
+}
+
+// coverableOneY is the symmetric case for a single Y-fact b.
+func coverableOneY(d *db.Database, b string, xs []string) bool {
+	var uncovered []string
+	for _, a := range xs {
+		if !d.Has(db.F("R", a, b)) {
+			uncovered = append(uncovered, a)
+		}
+	}
+	switch len(uncovered) {
+	case 0:
+		return true
+	case 1:
+		return d.Has(db.F("S", b, uncovered[0]))
+	default:
+		return false
+	}
+}
+
+func values(d *db.Database, rel string) []string {
+	facts := d.Facts(rel)
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.Args[0]
+	}
+	return out
+}
+
+// Figure3Database builds the database of Figure 3: three X-facts, two
+// Y-facts, and the full R/S content over the 3×2 pairs. Since 3·2 > 3+2,
+// every repair satisfies q4 (the outcome of Q4Certain is independent of
+// the R/S content), and with the full R/S content no single variable of q4
+// is reifiable: for every value c, some repair falsifies q4[x↦c] (and
+// likewise for y), which is the Section 7 point that the FO procedure for
+// q4 cannot be reification-based.
+func Figure3Database() *db.Database {
+	d := db.New()
+	Q4Schema(d)
+	xs := []string{"1", "2", "3"}
+	ys := []string{"a", "b"}
+	for _, a := range xs {
+		d.MustInsert(db.F("X", a))
+	}
+	for _, b := range ys {
+		d.MustInsert(db.F("Y", b))
+	}
+	for _, a := range xs {
+		for _, b := range ys {
+			d.MustInsert(db.F("R", a, b))
+			d.MustInsert(db.F("S", b, a))
+		}
+	}
+	return d
+}

@@ -1,0 +1,148 @@
+package special_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/special"
+)
+
+func TestFigure3(t *testing.T) {
+	d := special.Figure3Database()
+	if !special.Q4Certain(d) {
+		t.Fatal("Figure 3: 3·2 > 3+2, every repair must satisfy q4")
+	}
+	// Cross-check against the naive engine.
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	if !naive.IsCertain(q, d) {
+		t.Fatal("naive disagrees on Figure 3")
+	}
+}
+
+// Exhaustive validation of the q4 decision procedure against repair
+// enumeration over all small databases with up to 2 X-values, 2 Y-values,
+// and a selection of R/S facts.
+func TestQ4ExhaustiveSmall(t *testing.T) {
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	xs := []string{"a1", "a2"}
+	ys := []string{"b1", "b2"}
+	var rFacts, sFacts []db.Fact
+	for _, a := range xs {
+		for _, b := range ys {
+			rFacts = append(rFacts, db.F("R", a, b))
+			sFacts = append(sFacts, db.F("S", b, a))
+		}
+	}
+	// Masks: which X facts, Y facts, R facts, S facts are present.
+	for xm := 0; xm < 4; xm++ {
+		for ym := 0; ym < 4; ym++ {
+			for rm := 0; rm < 16; rm++ {
+				for sm := 0; sm < 16; sm += 3 { // stride keeps runtime modest
+					d := db.New()
+					special.Q4Schema(d)
+					for i, a := range xs {
+						if xm&(1<<i) != 0 {
+							d.MustInsert(db.F("X", a))
+						}
+					}
+					for i, b := range ys {
+						if ym&(1<<i) != 0 {
+							d.MustInsert(db.F("Y", b))
+						}
+					}
+					for i, f := range rFacts {
+						if rm&(1<<i) != 0 {
+							d.MustInsert(f)
+						}
+					}
+					for i, f := range sFacts {
+						if sm&(1<<i) != 0 {
+							d.MustInsert(f)
+						}
+					}
+					want := naive.IsCertain(q, d)
+					got := special.Q4Certain(d)
+					if got != want {
+						t.Fatalf("q4 special = %v, naive = %v on\n%s", got, want, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Random validation with larger domains, exercising the m·n > m+n branch
+// and the m=1 / n=1 branches.
+func TestQ4Random(t *testing.T) {
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		d := db.New()
+		special.Q4Schema(d)
+		m := rng.Intn(4)
+		n := rng.Intn(4)
+		var xs, ys []string
+		for i := 0; i < m; i++ {
+			xs = append(xs, string(rune('a'+i)))
+			d.MustInsert(db.F("X", xs[i]))
+		}
+		for i := 0; i < n; i++ {
+			ys = append(ys, string(rune('p'+i)))
+			d.MustInsert(db.F("Y", ys[i]))
+		}
+		for i := 0; i < 5; i++ {
+			if m > 0 && n > 0 && rng.Intn(2) == 0 {
+				d.MustInsert(db.F("R", xs[rng.Intn(m)], ys[rng.Intn(n)]))
+			}
+			if m > 0 && n > 0 && rng.Intn(2) == 0 {
+				d.MustInsert(db.F("S", ys[rng.Intn(n)], xs[rng.Intn(m)]))
+			}
+		}
+		want := naive.IsCertain(q, d)
+		if got := special.Q4Certain(d); got != want {
+			t.Fatalf("trial %d: q4 special = %v, naive = %v on\n%s", trial, got, want, d)
+		}
+	}
+}
+
+// q4's attack graph is cyclic and its negation is not weakly-guarded, so
+// the general classifier must put it out of scope — the whole point of
+// Section 7 is that its FO membership needs the ad-hoc argument.
+func TestQ4OutOfScope(t *testing.T) {
+	q := parse.MustQuery("X(x), Y(y), !R(x | y), !S(y | x)")
+	c, err := core.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WeaklyGuarded {
+		t.Error("q4 negation should not be weakly-guarded")
+	}
+	if c.Acyclic {
+		t.Error("q4 attack graph should be cyclic")
+	}
+	if c.Verdict != core.VerdictOutOfScope {
+		t.Errorf("verdict = %v, want out-of-scope", c.Verdict)
+	}
+}
+
+// Proposition 7.2 witness behaviour: X and Y values in Figure 3 are not
+// reifiable — fixing any single x makes some repair falsify q4[x↦c].
+func TestFigure3NoReification(t *testing.T) {
+	d := special.Figure3Database()
+	for _, a := range []string{"1", "2", "3"} {
+		qc := parse.MustQuery("X('" + a + "'), Y(y), !R('" + a + "' | y), !S(y | '" + a + "')")
+		if naive.IsCertain(qc, d) {
+			t.Errorf("q4[x↦%s] should not be certain on Figure 3", a)
+		}
+	}
+	for _, b := range []string{"a", "b"} {
+		qc := parse.MustQuery("X(x), Y('" + b + "'), !R(x | '" + b + "'), !S('" + b + "' | x)")
+		if naive.IsCertain(qc, d) {
+			t.Errorf("q4[y↦%s] should not be certain on Figure 3", b)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+
+	"cqa/internal/db"
+)
+
+// Run parses and executes a sqlgen statement against the database,
+// returning the boolean value of the `certain` column. Table names are
+// matched case-sensitively against the database's relations; the CTE name
+// is visible as a one-column table in FROM lists.
+func Run(src string, d *db.Database) (bool, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return false, err
+	}
+	return Exec(stmt, d)
+}
+
+// Exec executes a parsed statement.
+func Exec(stmt *Statement, d *db.Database) (bool, error) {
+	ex := &executor{d: d, stmt: stmt, env: map[string][]string{}}
+	if err := ex.materializeCTE(); err != nil {
+		return false, err
+	}
+	return ex.eval(stmt.Cond)
+}
+
+type executor struct {
+	d    *db.Database
+	stmt *Statement
+	// cte holds the materialized single-column CTE rows.
+	cte [][]string
+	// env maps a FROM alias to its current row.
+	env map[string][]string
+}
+
+// materializeCTE computes the UNION of the CTE branches with duplicate
+// elimination, as SQL UNION requires.
+func (ex *executor) materializeCTE() error {
+	seen := map[string]bool{}
+	for _, br := range ex.stmt.CTE {
+		rel := ex.d.Relation(br.Table)
+		if rel == nil {
+			return fmt.Errorf("sqlexec: unknown table %s in CTE", br.Table)
+		}
+		if br.Column > rel.Arity {
+			return fmt.Errorf("sqlexec: column c%d out of range for %s", br.Column, br.Table)
+		}
+		for _, f := range ex.d.Facts(br.Table) {
+			v := f.Args[br.Column-1]
+			if !seen[v] {
+				seen[v] = true
+			}
+		}
+	}
+	vals := make([]string, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		ex.cte = append(ex.cte, []string{v})
+	}
+	return nil
+}
+
+// rows returns the rows of a FROM table (base relation or the CTE).
+func (ex *executor) rows(table string) ([][]string, error) {
+	if table == ex.stmt.CTEName {
+		return ex.cte, nil
+	}
+	rel := ex.d.Relation(table)
+	if rel == nil {
+		return nil, fmt.Errorf("sqlexec: unknown table %s", table)
+	}
+	facts := ex.d.Facts(table)
+	out := make([][]string, len(facts))
+	for i, f := range facts {
+		out[i] = f.Args
+	}
+	return out, nil
+}
+
+func (ex *executor) eval(e Expr) (bool, error) {
+	switch g := e.(type) {
+	case Cmp:
+		l, err := ex.operand(g.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ex.operand(g.R)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case NotExpr:
+		v, err := ex.eval(g.E)
+		return !v, err
+	case AndExpr:
+		for _, sub := range g.Es {
+			v, err := ex.eval(sub)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case OrExpr:
+		for _, sub := range g.Es {
+			v, err := ex.eval(sub)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case ExistsExpr:
+		return ex.exists(g, 0)
+	default:
+		return false, fmt.Errorf("sqlexec: unknown expression %T", e)
+	}
+}
+
+// exists performs a nested-loop join over the FROM list.
+func (ex *executor) exists(g ExistsExpr, i int) (bool, error) {
+	if i == len(g.From) {
+		return ex.eval(g.Where)
+	}
+	ref := g.From[i]
+	rows, err := ex.rows(ref.Table)
+	if err != nil {
+		return false, err
+	}
+	saved, had := ex.env[ref.Alias]
+	defer func() {
+		if had {
+			ex.env[ref.Alias] = saved
+		} else {
+			delete(ex.env, ref.Alias)
+		}
+	}()
+	for _, row := range rows {
+		ex.env[ref.Alias] = row
+		ok, err := ex.exists(g, i+1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (ex *executor) operand(o Operand) (string, error) {
+	if !o.IsCol {
+		return o.Lit, nil
+	}
+	row, ok := ex.env[o.Alias]
+	if !ok {
+		return "", fmt.Errorf("sqlexec: unknown alias %s", o.Alias)
+	}
+	if o.Column == ex.stmt.CTECol {
+		if len(row) != 1 {
+			return "", fmt.Errorf("sqlexec: alias %s is not the CTE", o.Alias)
+		}
+		return row[0], nil
+	}
+	idx, err := columnIndex(o.Column)
+	if err != nil {
+		return "", err
+	}
+	if idx > len(row) {
+		return "", fmt.Errorf("sqlexec: column %s.%s out of range", o.Alias, o.Column)
+	}
+	return row[idx-1], nil
+}

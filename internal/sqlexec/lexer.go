@@ -1,0 +1,88 @@
+// Package sqlexec executes the SQL dialect produced by internal/sqlgen
+// against an internal/db database. It is a deliberately small engine —
+// WITH one CTE, EXISTS/NOT/AND/OR/equality, nested-loop joins over
+// aliased tables — but it is a real parser and executor, so the test
+// suite can check end-to-end that the generated "single SQL query"
+// computes exactly CERTAINTY(q): parse(translate(rewrite(q))) evaluated
+// on db equals repair enumeration.
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // 'quoted'
+	tokPunct  // ( ) , . ; =
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src    []rune
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src)}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		r := l.src[l.pos]
+		switch {
+		case r == '\'':
+			start := l.pos
+			l.pos++
+			var b strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sqlexec: unterminated string at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					// '' is an escaped quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						b.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				b.WriteRune(l.src[l.pos])
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+		case strings.ContainsRune("(),.;=", r):
+			l.tokens = append(l.tokens, token{kind: tokPunct, text: string(r), pos: l.pos})
+			l.pos++
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokIdent, text: string(l.src[start:l.pos]), pos: start})
+		default:
+			return nil, fmt.Errorf("sqlexec: unexpected character %q at %d", r, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(l.src[l.pos]) {
+		l.pos++
+	}
+}

@@ -1,0 +1,416 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is the parsed form of a sqlgen query:
+//
+//	WITH <cte>(<col>) AS ( <union of column selects> )
+//	SELECT CASE WHEN <cond> THEN 1 ELSE 0 END AS <out>;
+type Statement struct {
+	CTEName string
+	CTECol  string
+	// CTE lists the union branches; an empty slice means the degenerate
+	// "SELECT NULL AS v WHERE 1 = 0" branch only.
+	CTE  []CTEBranch
+	Cond Expr
+	Out  string
+}
+
+// CTEBranch is one "SELECT c<i> AS v FROM <table>" arm of the CTE union.
+type CTEBranch struct {
+	Column int // 1-based
+	Table  string
+}
+
+// Expr is a boolean SQL expression. Implementations: Cmp, NotExpr,
+// AndExpr, OrExpr, ExistsExpr.
+type Expr interface{ isExpr() }
+
+// Operand is a comparison operand: a column reference or a literal.
+type Operand struct {
+	// IsCol marks a column reference alias.column; otherwise Lit holds a
+	// literal value.
+	IsCol  bool
+	Alias  string
+	Column string // "v" or "c<i>"
+	Lit    string
+}
+
+// Cmp is the equality l = r.
+type Cmp struct{ L, R Operand }
+
+// NotExpr negates an expression.
+type NotExpr struct{ E Expr }
+
+// AndExpr is a conjunction.
+type AndExpr struct{ Es []Expr }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ Es []Expr }
+
+// ExistsExpr is EXISTS (SELECT 1 FROM t1 a1, t2 a2 WHERE e).
+type ExistsExpr struct {
+	From  []TableRef
+	Where Expr
+}
+
+// TableRef is a table with its alias in a FROM list.
+type TableRef struct{ Table, Alias string }
+
+func (Cmp) isExpr()        {}
+func (NotExpr) isExpr()    {}
+func (AndExpr) isExpr()    {}
+func (OrExpr) isExpr()     {}
+func (ExistsExpr) isExpr() {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a statement in the sqlgen dialect.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atPunct(";") {
+		return nil, p.errf("expected ';'")
+	}
+	p.pos++
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input after ';'")
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlexec: %s at token %d (%q)", fmt.Sprintf(format, args...), p.pos, p.cur().text)
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q", s)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (*Statement, error) {
+	stmt := &Statement{}
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.CTEName = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.CTECol = col
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.cteBody(stmt); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	for _, kw := range []string{"SELECT", "CASE", "WHEN"} {
+		if err := p.expectKeyword(kw); err != nil {
+			return nil, err
+		}
+	}
+	cond, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Cond = cond
+	for _, kw := range []string{"THEN", "1", "ELSE", "0", "END", "AS"} {
+		if err := p.expectKeyword(kw); err != nil {
+			return nil, err
+		}
+	}
+	out, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Out = out
+	return stmt, nil
+}
+
+// cteBody parses the union of column selects (or the degenerate empty
+// branch "SELECT NULL AS v WHERE 1 = 0").
+func (p *parser) cteBody(stmt *Statement) error {
+	for {
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return err
+		}
+		if p.atKeyword("NULL") {
+			p.pos++
+			if err := p.expectKeyword("AS"); err != nil {
+				return err
+			}
+			if _, err := p.ident(); err != nil {
+				return err
+			}
+			// WHERE 1 = 0
+			if err := p.expectKeyword("WHERE"); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("1"); err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("0"); err != nil {
+				return err
+			}
+		} else {
+			colName, err := p.ident()
+			if err != nil {
+				return err
+			}
+			idx, err := columnIndex(colName)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return err
+			}
+			if _, err := p.ident(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("FROM"); err != nil {
+				return err
+			}
+			table, err := p.ident()
+			if err != nil {
+				return err
+			}
+			stmt.CTE = append(stmt.CTE, CTEBranch{Column: idx, Table: table})
+		}
+		if p.atKeyword("UNION") {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{left}
+	for p.atKeyword("OR") {
+		p.pos++
+		next, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return OrExpr{Es: parts}, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{left}
+	for p.atKeyword("AND") {
+		p.pos++
+		next, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return AndExpr{Es: parts}, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.atKeyword("NOT"):
+		p.pos++
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: inner}, nil
+	case p.atKeyword("EXISTS"):
+		p.pos++
+		return p.exists()
+	case p.atPunct("("):
+		// Either a parenthesized boolean expression or a comparison
+		// like (a = b); both parse as orExpr followed by ')'. A
+		// comparison's left operand can also start here, so try the
+		// comparison path when the inner parse yields an operand shape.
+		p.pos++
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.comparison()
+	}
+}
+
+func (p *parser) exists() (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("1"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var from []TableRef
+	for {
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		from = append(from, TableRef{Table: table, Alias: alias})
+		if p.atPunct(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	where, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return ExistsExpr{From: from, Where: where}, nil
+}
+
+// comparison parses operand = operand.
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{L: l, R: r}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.pos++
+		return Operand{Lit: t.text}, nil
+	case tokIdent:
+		p.pos++
+		if p.atPunct(".") {
+			p.pos++
+			col, err := p.ident()
+			if err != nil {
+				return Operand{}, err
+			}
+			return Operand{IsCol: true, Alias: t.text, Column: col}, nil
+		}
+		// A bare identifier operand is a numeric literal like 1 or 0.
+		return Operand{Lit: t.text}, nil
+	default:
+		return Operand{}, p.errf("expected operand")
+	}
+}
+
+// columnIndex maps "c3" to 3.
+func columnIndex(name string) (int, error) {
+	if !strings.HasPrefix(name, "c") {
+		return 0, fmt.Errorf("column %q is not of the form c<i>", name)
+	}
+	i, err := strconv.Atoi(name[1:])
+	if err != nil || i < 1 {
+		return 0, fmt.Errorf("column %q is not of the form c<i>", name)
+	}
+	return i, nil
+}

@@ -1,0 +1,191 @@
+// Package sqlgen translates a consistent first-order rewriting into a
+// single SQL query, substantiating the paper's point that membership of
+// CERTAINTY(q) in FO means the problem "can be solved using standard SQL
+// database technology".
+//
+// The translation is the textbook active-domain one: an `adom` CTE unions
+// every column of every relation the formula mentions; quantifiers become
+// (NOT) EXISTS subqueries over `adom`; atoms become EXISTS subqueries over
+// their table. The result is one self-contained SELECT statement returning
+// a single boolean column `certain`.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqa/internal/fo"
+	"cqa/internal/schema"
+)
+
+// Options controls identifier rendering.
+type Options struct {
+	// LowercaseTables renders relation names in lower case (common SQL
+	// convention). Column names are always c1, c2, ….
+	LowercaseTables bool
+}
+
+// Translate renders a sentence as a single SQL statement. The formula must
+// be a sentence (no free variables).
+func Translate(f fo.Formula, opt Options) (string, error) {
+	if free := fo.FreeVars(f); !free.Empty() {
+		return "", fmt.Errorf("sqlgen: formula has free variables %s", free)
+	}
+	g := &generator{opt: opt, arity: map[string]int{}}
+	g.collectRelations(f)
+	var b strings.Builder
+	b.WriteString("WITH adom(v) AS (\n")
+	b.WriteString(g.adomCTE())
+	b.WriteString("\n)\nSELECT CASE WHEN\n  ")
+	expr := g.expr(f, map[string]string{}, 1)
+	b.WriteString(expr)
+	b.WriteString("\nTHEN 1 ELSE 0 END AS certain;")
+	return b.String(), nil
+}
+
+type generator struct {
+	opt   Options
+	arity map[string]int
+	alias int
+}
+
+func (g *generator) table(rel string) string {
+	if g.opt.LowercaseTables {
+		return strings.ToLower(rel)
+	}
+	return rel
+}
+
+func (g *generator) collectRelations(f fo.Formula) {
+	switch h := f.(type) {
+	case fo.Atom:
+		g.arity[h.Rel] = len(h.Terms)
+	case fo.Eq, fo.Truth:
+	case fo.Not:
+		g.collectRelations(h.F)
+	case fo.And:
+		for _, sub := range h.Fs {
+			g.collectRelations(sub)
+		}
+	case fo.Or:
+		for _, sub := range h.Fs {
+			g.collectRelations(sub)
+		}
+	case fo.Implies:
+		g.collectRelations(h.L)
+		g.collectRelations(h.R)
+	case fo.Exists:
+		g.collectRelations(h.Body)
+	case fo.Forall:
+		g.collectRelations(h.Body)
+	default:
+		panic(fmt.Sprintf("sqlgen: unknown formula %T", f))
+	}
+}
+
+// adomCTE unions every column of every mentioned relation.
+func (g *generator) adomCTE() string {
+	rels := make([]string, 0, len(g.arity))
+	for r := range g.arity {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	var parts []string
+	for _, r := range rels {
+		for i := 1; i <= g.arity[r]; i++ {
+			parts = append(parts, fmt.Sprintf("  SELECT c%d AS v FROM %s", i, g.table(r)))
+		}
+	}
+	if len(parts) == 0 {
+		// A formula without atoms: an empty domain suffices.
+		return "  SELECT NULL AS v WHERE 1 = 0"
+	}
+	return strings.Join(parts, "\n  UNION\n")
+}
+
+// expr renders a formula as a SQL boolean expression; env maps logical
+// variables to SQL expressions; depth controls indentation.
+func (g *generator) expr(f fo.Formula, env map[string]string, depth int) string {
+	pad := strings.Repeat("  ", depth)
+	switch h := f.(type) {
+	case fo.Truth:
+		if h {
+			return "(1 = 1)"
+		}
+		return "(1 = 0)"
+	case fo.Eq:
+		return "(" + g.term(h.L, env) + " = " + g.term(h.R, env) + ")"
+	case fo.Atom:
+		g.alias++
+		a := fmt.Sprintf("t%d", g.alias)
+		var conds []string
+		for i, t := range h.Terms {
+			conds = append(conds, fmt.Sprintf("%s.c%d = %s", a, i+1, g.term(t, env)))
+		}
+		return fmt.Sprintf("EXISTS (SELECT 1 FROM %s %s WHERE %s)",
+			g.table(h.Rel), a, strings.Join(conds, " AND "))
+	case fo.Not:
+		return "NOT " + g.expr(h.F, env, depth)
+	case fo.And:
+		if len(h.Fs) == 0 {
+			return "(1 = 1)"
+		}
+		parts := make([]string, len(h.Fs))
+		for i, sub := range h.Fs {
+			parts[i] = g.expr(sub, env, depth+1)
+		}
+		return "(" + strings.Join(parts, "\n"+pad+"AND ") + ")"
+	case fo.Or:
+		if len(h.Fs) == 0 {
+			return "(1 = 0)"
+		}
+		parts := make([]string, len(h.Fs))
+		for i, sub := range h.Fs {
+			parts[i] = g.expr(sub, env, depth+1)
+		}
+		return "(" + strings.Join(parts, "\n"+pad+"OR ") + ")"
+	case fo.Implies:
+		return "(NOT " + g.expr(h.L, env, depth+1) + "\n" + pad + "OR " + g.expr(h.R, env, depth+1) + ")"
+	case fo.Exists:
+		return g.quantifier(h.Vars, h.Body, env, depth, false)
+	case fo.Forall:
+		return g.quantifier(h.Vars, fo.Not{F: h.Body}, env, depth, true)
+	default:
+		panic(fmt.Sprintf("sqlgen: unknown formula %T", f))
+	}
+}
+
+// quantifier renders ∃x⃗ body (negated=false) or ∀x⃗ body, the latter as
+// NOT EXISTS x⃗ (¬body); body has already been negated by the caller.
+func (g *generator) quantifier(vars []string, body fo.Formula, env map[string]string, depth int, negated bool) string {
+	pad := strings.Repeat("  ", depth)
+	inner := make(map[string]string, len(env))
+	for k, v := range env {
+		inner[k] = v
+	}
+	var froms []string
+	for _, x := range vars {
+		g.alias++
+		a := fmt.Sprintf("d%d", g.alias)
+		froms = append(froms, "adom "+a)
+		inner[x] = a + ".v"
+	}
+	prefix := "EXISTS"
+	if negated {
+		prefix = "NOT EXISTS"
+	}
+	return fmt.Sprintf("%s (SELECT 1 FROM %s WHERE\n%s  %s)",
+		prefix, strings.Join(froms, ", "), pad, g.expr(body, inner, depth+1))
+}
+
+func (g *generator) term(t schema.Term, env map[string]string) string {
+	if t.IsVar {
+		e, ok := env[t.Name]
+		if !ok {
+			panic(fmt.Sprintf("sqlgen: unbound variable %s", t.Name))
+		}
+		return e
+	}
+	return "'" + strings.ReplaceAll(t.Name, "'", "''") + "'"
+}

@@ -1,0 +1,144 @@
+package sqlgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cqa/internal/fo"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+	"cqa/internal/sqlgen"
+)
+
+func mustSQL(t *testing.T, f fo.Formula) string {
+	t.Helper()
+	s, err := sqlgen.Translate(f, sqlgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+func TestTranslateQ3Rewriting(t *testing.T) {
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := mustSQL(t, f)
+	for _, frag := range []string{
+		"WITH adom(v) AS",
+		"SELECT c1 AS v FROM P",
+		"SELECT c2 AS v FROM N",
+		"EXISTS (SELECT 1 FROM P",
+		"NOT EXISTS (SELECT 1 FROM adom",
+		"THEN 1 ELSE 0 END AS certain;",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL lacks fragment %q:\n%s", frag, sql)
+		}
+	}
+	if !balanced(sql) {
+		t.Error("unbalanced parentheses in SQL")
+	}
+}
+
+func TestTranslateIsSingleStatement(t *testing.T) {
+	q := parse.MustQuery("S(x), !N1('c' | x), !N2('c' | x)")
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := mustSQL(t, f)
+	if strings.Count(sql, ";") != 1 || !strings.HasSuffix(sql, ";") {
+		t.Error("translation should be exactly one statement")
+	}
+}
+
+func TestTranslateRejectsOpenFormula(t *testing.T) {
+	f := fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{schema.Var("x")}}
+	if _, err := sqlgen.Translate(f, sqlgen.Options{}); err == nil {
+		t.Error("open formula should be rejected")
+	}
+}
+
+func TestTranslateConstantsEscaped(t *testing.T) {
+	f := fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{schema.Const("o'hara")}}
+	sql := mustSQL(t, f)
+	if !strings.Contains(sql, "'o''hara'") {
+		t.Errorf("constant not escaped:\n%s", sql)
+	}
+}
+
+func TestTranslateLowercaseOption(t *testing.T) {
+	f := fo.Atom{Rel: "Likes", Key: 2, Terms: []schema.Term{schema.Const("a"), schema.Const("b")}}
+	sql, err := sqlgen.Translate(f, sqlgen.Options{LowercaseTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "FROM likes") || strings.Contains(sql, "FROM Likes") {
+		t.Errorf("lowercase option ignored:\n%s", sql)
+	}
+}
+
+func TestTranslateTruthAndConnectives(t *testing.T) {
+	f := fo.NewAnd(fo.Truth(true),
+		fo.NewOr(fo.Truth(false),
+			fo.Not{F: fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{schema.Const("a")}}}))
+	sql := mustSQL(t, f)
+	for _, frag := range []string{"(1 = 1)", "(1 = 0)", "NOT EXISTS"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL lacks %q:\n%s", frag, sql)
+		}
+	}
+	if !balanced(sql) {
+		t.Error("unbalanced parentheses")
+	}
+}
+
+func TestTranslateNoAtoms(t *testing.T) {
+	sql := mustSQL(t, fo.Truth(true))
+	if !strings.Contains(sql, "WHERE 1 = 0") {
+		t.Errorf("empty adom CTE expected:\n%s", sql)
+	}
+}
+
+// Every rewriting of the paper's FO example queries translates to
+// balanced, single-statement SQL.
+func TestTranslatePaperQueries(t *testing.T) {
+	for _, src := range []string{
+		"P(x | y), !N('c' | y)",
+		"S(x), !N1('c' | x), !N2('c' | x), !N3('c' | x)",
+		"Lives(p | t), !Born(p | t), !Likes(p, t)",
+		"Likes(p, t), !Born(p | t), !Lives(p | t)",
+	} {
+		f, err := rewrite.Rewrite(parse.MustQuery(src))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		sql := mustSQL(t, f)
+		if !balanced(sql) {
+			t.Errorf("%s: unbalanced SQL", src)
+		}
+		if !strings.HasPrefix(sql, "WITH adom(v) AS") {
+			t.Errorf("%s: missing adom CTE", src)
+		}
+	}
+}
