@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the full pre-commit gate:
+# vet, tests, the race detector, fuzz seed corpora, and a benchmark
+# smoke run. Individual targets exist for the impatient.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check build vet test race fuzz bench experiments clean
+
+check: vet test race fuzz bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target runs for $(FUZZTIME) (seed corpus plus mutation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/parse
+	$(GO) test -run '^$$' -fuzz FuzzDatabase -fuzztime $(FUZZTIME) ./internal/parse
+	$(GO) test -run '^$$' -fuzz FuzzSQLExec -fuzztime $(FUZZTIME) ./internal/sqlexec
+
+# One iteration per benchmark: compiles and exercises every benchmark
+# body without waiting for stable timings.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+experiments:
+	$(GO) run ./cmd/certbench -quick
+
+clean:
+	$(GO) clean -testcache

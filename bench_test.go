@@ -1,5 +1,5 @@
 // Package cqa's root benchmark harness: one benchmark family per
-// experiment E1–E9 of DESIGN.md. Run with
+// experiment of DESIGN.md. Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -8,6 +8,7 @@
 package cqa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"cqa/internal/core"
 	"cqa/internal/db"
 	"cqa/internal/direct"
+	"cqa/internal/engine"
 	"cqa/internal/fo"
 	"cqa/internal/gen"
 	"cqa/internal/matching"
@@ -236,6 +238,86 @@ func BenchmarkE9AttackGraph(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E12: the serving engine. cached/prepare must beat cold/prepare by well
+// over an order of magnitude — the plan cache reduces repeated queries to
+// one signature computation and an LRU lookup, skipping classification
+// and rewriting entirely.
+func BenchmarkE12PlanCache(b *testing.B) {
+	q := chainQueryBench(12)
+	b.Run("cold/prepare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Prepare(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached/prepare", func(b *testing.B) {
+		e := engine.New(engine.Options{})
+		if _, err := e.Prepare(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Prepare(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E12: batch evaluation of ≥ 8 independent checks, sequential loop vs the
+// worker pool, and the single-item parallel evaluation hot path vs the
+// sequential evaluator. The parallel wins require GOMAXPROCS > 1; on a
+// single CPU both modes must at least tie.
+func BenchmarkE12Batch(b *testing.B) {
+	q := parse.MustQuery("Lives(p | t), !Born(p | t), !Likes(p, t)")
+	rng := rand.New(rand.NewSource(12))
+	items := make([]engine.Item, 16)
+	for i := range items {
+		opt := gen.DBOptions{BlocksPerRelation: 128, MaxBlockSize: 2, DomainPerVariable: 64, ConstantBias: 0.7}
+		items[i] = engine.Item{Query: q, DB: gen.Database(rng, q, opt)}
+	}
+	e := engine.New(engine.Options{})
+	p, err := e.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, it := range items {
+		p.Certain(it.DB) // warm memoized db state for both modes
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				p.Certain(it.DB)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range e.CertainBatch(context.Background(), items) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	big := gen.Database(rng, q, gen.DBOptions{BlocksPerRelation: 2048, MaxBlockSize: 2, DomainPerVariable: 1024, ConstantBias: 0.7})
+	f, err := rewrite.Rewrite(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("eval/sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fo.Eval(big, f)
+		}
+	})
+	b.Run("eval/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fo.EvalParallel(big, f, 0)
+		}
+	})
 }
 
 func chainQueryBench(n int) schema.Query {

@@ -6,8 +6,12 @@
 //	cqa attack   '<query>'            attack-graph details (F⊕, edges, witnesses)
 //	cqa rewrite  '<query>'            consistent first-order rewriting
 //	cqa sql      '<query>'            the rewriting as a single SQL query
-//	cqa eval     '<query>' <db-file>  answer CERTAINTY(q) on a database
+//	cqa eval     '<query>' <db-file>... answer CERTAINTY(q) on databases
 //	    -engine auto|rewriting|direct|naive   (default auto)
+//	    -parallel    fan evaluation across workers (engine auto)
+//	    -cache       route through the plan-cache engine
+//	    -stats       print engine stats to stderr
+//	Several database files run as one engine batch on a worker pool.
 //
 // Query syntax: R(x | y), !S(y | x) — key positions before '|', '!' for
 // negation, 'quoted' constants. Database files hold one fact per line:
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +27,8 @@ import (
 	"strings"
 
 	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/engine"
 	"cqa/internal/fo"
 	"cqa/internal/parse"
 	"cqa/internal/schema"
@@ -69,7 +76,7 @@ func usage() {
   cqa attack   '<query>'
   cqa rewrite  '<query>'
   cqa sql      '<query>'
-  cqa eval     [-engine auto|rewriting|direct|naive] '<query>' <db-file|->
+  cqa eval     [-engine auto|rewriting|direct|naive] [-parallel] [-cache] [-stats] '<query>' <db-file|-> [db-file...]
   cqa answers  -free x,y '<query>' <db-file|->
   cqa explain  '<query>' <db-file|->       trace Algorithm 1`)
 }
@@ -212,42 +219,78 @@ func sqlCmd(args []string, out io.Writer) error {
 func evalCmd(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	engineName := fs.String("engine", "auto", "auto|rewriting|direct|naive")
+	parallel := fs.Bool("parallel", false, "fan evaluation across GOMAXPROCS workers (engine auto only)")
+	cache := fs.Bool("cache", false, "route through the plan-cache engine (engine auto only)")
+	stats := fs.Bool("stats", false, "print engine cache/worker stats to stderr (implies -cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
-	if len(rest) != 2 {
-		return fmt.Errorf("eval needs a query and a database file (or - for stdin)")
+	if len(rest) < 2 {
+		return fmt.Errorf("eval needs a query and at least one database file (or - for stdin)")
 	}
 	q, err := parse.Query(rest[0])
 	if err != nil {
 		return err
 	}
-	var src []byte
-	if rest[1] == "-" {
-		src, err = io.ReadAll(stdin)
+	dbs := make([]*db.Database, 0, len(rest)-1)
+	for _, name := range rest[1:] {
+		var src []byte
+		if name == "-" {
+			src, err = io.ReadAll(stdin)
+		} else {
+			src, err = os.ReadFile(name)
+		}
+		if err != nil {
+			return err
+		}
+		d, err := parse.Database(string(src))
+		if err != nil {
+			return err
+		}
+		if err := parse.DeclareQueryRelations(d, q); err != nil {
+			return err
+		}
+		dbs = append(dbs, d)
+	}
+	useEngine := *parallel || *cache || *stats || len(dbs) > 1
+	if useEngine && *engineName != "auto" {
+		return fmt.Errorf("-parallel/-cache/-stats and multiple databases require -engine auto")
+	}
+	if !useEngine {
+		eng, err := engineByName(*engineName)
+		if err != nil {
+			return err
+		}
+		ans, err := core.Certain(q, dbs[0], eng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ans)
+		return nil
+	}
+	e := engine.New(engine.Options{ParallelEval: *parallel})
+	if len(dbs) == 1 {
+		ans, err := e.Certain(q, dbs[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ans)
 	} else {
-		src, err = os.ReadFile(rest[1])
+		items := make([]engine.Item, len(dbs))
+		for i, d := range dbs {
+			items[i] = engine.Item{Query: q, DB: d}
+		}
+		for i, r := range e.CertainBatch(context.Background(), items) {
+			if r.Err != nil {
+				return fmt.Errorf("%s: %w", rest[1+i], r.Err)
+			}
+			fmt.Fprintf(out, "%s: %v\n", rest[1+i], r.Certain)
+		}
 	}
-	if err != nil {
-		return err
+	if *stats {
+		fmt.Fprintln(os.Stderr, e.Stats())
 	}
-	d, err := parse.Database(string(src))
-	if err != nil {
-		return err
-	}
-	if err := parse.DeclareQueryRelations(d, q); err != nil {
-		return err
-	}
-	engine, err := engineByName(*engineName)
-	if err != nil {
-		return err
-	}
-	ans, err := core.Certain(q, d, engine)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, ans)
 	return nil
 }
 

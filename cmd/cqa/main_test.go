@@ -119,6 +119,34 @@ func TestEvalCommand(t *testing.T) {
 	}
 }
 
+func TestEvalEngineFlags(t *testing.T) {
+	path := writeDB(t, "R(a | 1)\nR(a | 2)\n")
+	for _, flags := range [][]string{{"-cache"}, {"-parallel"}, {"-cache", "-parallel"}} {
+		var out bytes.Buffer
+		args := append(append([]string{}, flags...), "R(x | y)", path)
+		if err := evalCmd(args, strings.NewReader(""), &out); err != nil {
+			t.Fatalf("%v: %v", flags, err)
+		}
+		if strings.TrimSpace(out.String()) != "true" {
+			t.Errorf("%v: output %q, want true", flags, out.String())
+		}
+	}
+	// Multiple database files answer as one engine batch, one line each.
+	path2 := writeDB(t, "R(b | 1)\n")
+	var out bytes.Buffer
+	if err := evalCmd([]string{"R(x | y)", path, path2}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || !strings.HasSuffix(lines[0], "true") || !strings.HasSuffix(lines[1], "true") {
+		t.Errorf("batch output wrong: %q", out.String())
+	}
+	// Engine flags are incompatible with explicit non-auto engines.
+	if err := evalCmd([]string{"-engine", "naive", "-parallel", "R(x | y)", path}, strings.NewReader(""), &out); err == nil {
+		t.Error("-parallel with -engine naive should fail")
+	}
+}
+
 func TestEvalErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := evalCmd([]string{"R(x | y)"}, strings.NewReader(""), &out); err == nil {

@@ -206,6 +206,17 @@ func Certain(q schema.Query, d *db.Database, engine Engine) (bool, error) {
 // evalOn evaluates a rewriting after making sure every relation of q is
 // declared, so formulas over empty relations behave correctly.
 func evalOn(d *db.Database, q schema.Query, f fo.Formula) bool {
+	return fo.Eval(withQueryRels(d, q), f)
+}
+
+// evalOnParallel is evalOn with the fo parallel evaluation hot path.
+func evalOnParallel(d *db.Database, q schema.Query, f fo.Formula, workers, minCandidates int) bool {
+	return fo.EvalParallelOpts(withQueryRels(d, q), f, workers, minCandidates)
+}
+
+// withQueryRels returns d with every relation of q declared, cloning only
+// when a declaration is missing.
+func withQueryRels(d *db.Database, q schema.Query) *db.Database {
 	needsDeclare := false
 	for _, a := range q.Atoms() {
 		if d.Relation(a.Rel) == nil {
@@ -221,5 +232,5 @@ func evalOn(d *db.Database, q schema.Query, f fo.Formula) bool {
 			}
 		}
 	}
-	return fo.Eval(d, f)
+	return d
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Fact is an R-fact: a relation name and constant arguments.
@@ -93,10 +94,23 @@ func (r *Relation) ColumnValues(i int) []string {
 }
 
 // Database is a finite set of facts over a fixed set of relations.
+//
+// Concurrency: a Database is safe for any number of concurrent readers
+// (Has, Facts, Block, Blocks, ColumnValues, ActiveDomain, NumRepairs,
+// Size, String, Repairs, Clone, …) as long as no goroutine mutates it at
+// the same time. Mutating methods — DeclareRelation, Insert, Remove, and
+// their Must variants — are not safe to call concurrently with anything
+// else. The memoized ActiveDomain and NumRepairs values are published
+// atomically, so racing readers that fill them concurrently are safe.
 type Database struct {
 	rels map[string]*Relation
 	// relNames preserves deterministic iteration order.
 	relNames []string
+	// adom and numRepairs memoize ActiveDomain and NumRepairs between
+	// writes; writers invalidate, racing readers may each recompute and
+	// publish (identical) values.
+	adom       atomic.Pointer[[]string]
+	numRepairs atomic.Pointer[float64]
 }
 
 // New returns an empty database.
@@ -121,7 +135,14 @@ func (d *Database) DeclareRelation(name string, arity, key int) error {
 	d.rels[name] = newRelation(name, arity, key)
 	d.relNames = append(d.relNames, name)
 	sort.Strings(d.relNames)
+	d.invalidate()
 	return nil
+}
+
+// invalidate drops memoized read-path state after a write.
+func (d *Database) invalidate() {
+	d.adom.Store(nil)
+	d.numRepairs.Store(nil)
 }
 
 // Relation returns the stored relation for the name, or nil if absent.
@@ -158,6 +179,7 @@ func (d *Database) Insert(f Fact) error {
 	for i, v := range f.Args {
 		r.colVals[i][v] = true
 	}
+	d.invalidate()
 	return nil
 }
 
@@ -259,8 +281,12 @@ func (d *Database) IsConsistent() bool {
 }
 
 // ActiveDomain returns the sorted set of constants occurring in the
-// database.
+// database. The result is memoized until the next write; callers must not
+// mutate the returned slice.
 func (d *Database) ActiveDomain() []string {
+	if p := d.adom.Load(); p != nil {
+		return *p
+	}
 	set := make(map[string]bool)
 	for _, r := range d.rels {
 		for _, col := range r.colVals {
@@ -274,6 +300,7 @@ func (d *Database) ActiveDomain() []string {
 		out = append(out, v)
 	}
 	sort.Strings(out)
+	d.adom.Store(&out)
 	return out
 }
 
@@ -292,16 +319,21 @@ func (d *Database) Clone() *Database {
 
 // NumRepairs returns the number of repairs (the product of all block
 // sizes) as a float64; it may overflow to +Inf for adversarial inputs.
+// The result is memoized until the next write.
 func (d *Database) NumRepairs() float64 {
+	if p := d.numRepairs.Load(); p != nil {
+		return *p
+	}
 	n := 1.0
 	for _, r := range d.rels {
 		for _, b := range r.blocks {
 			n *= float64(len(b))
 			if math.IsInf(n, 1) {
-				return n
+				break
 			}
 		}
 	}
+	d.numRepairs.Store(&n)
 	return n
 }
 
@@ -366,6 +398,7 @@ func (d *Database) remove(f Fact) {
 	if _, found := r.facts[tk]; !found {
 		return
 	}
+	d.invalidate()
 	delete(r.facts, tk)
 	bk := tupleKey(f.Args[:r.Key])
 	b := r.blocks[bk]

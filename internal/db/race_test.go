@@ -1,0 +1,75 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders exercises every read path from many goroutines at
+// once. Run under `go test -race`; the Database documents that readers
+// never race with each other, including the racy-fill memoization of
+// ActiveDomain and NumRepairs.
+func TestConcurrentReaders(t *testing.T) {
+	d := New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 3, 2)
+	for i := 0; i < 40; i++ {
+		d.MustInsert(F("R", fmt.Sprintf("k%d", i%10), fmt.Sprintf("v%d", i)))
+		d.MustInsert(F("S", fmt.Sprintf("a%d", i%8), fmt.Sprintf("b%d", i%4), fmt.Sprintf("c%d", i)))
+	}
+	wantDom := len(d.Clone().ActiveDomain())
+	wantRepairs := d.Clone().NumRepairs()
+
+	const readers = 32
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := len(d.ActiveDomain()); got != wantDom {
+					t.Errorf("ActiveDomain size = %d, want %d", got, wantDom)
+					return
+				}
+				if got := d.NumRepairs(); got != wantRepairs {
+					t.Errorf("NumRepairs = %v, want %v", got, wantRepairs)
+					return
+				}
+				d.Has(F("R", "k1", "v1"))
+				d.Facts("S")
+				d.Block("R", []string{fmt.Sprintf("k%d", i%10)})
+				d.Blocks("R", func(b []Fact) bool { return true })
+				d.Relation("S").ColumnValues(g % 3)
+				d.IsConsistent()
+				_ = d.Size()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMemoInvalidation checks that writes invalidate the memoized
+// ActiveDomain and NumRepairs.
+func TestMemoInvalidation(t *testing.T) {
+	d := New()
+	d.MustDeclare("R", 2, 1)
+	d.MustInsert(F("R", "a", "b"))
+	if got := d.NumRepairs(); got != 1 {
+		t.Fatalf("NumRepairs = %v, want 1", got)
+	}
+	if got := len(d.ActiveDomain()); got != 2 {
+		t.Fatalf("|ActiveDomain| = %d, want 2", got)
+	}
+	d.MustInsert(F("R", "a", "c"))
+	if got := d.NumRepairs(); got != 2 {
+		t.Fatalf("after insert: NumRepairs = %v, want 2", got)
+	}
+	if got := len(d.ActiveDomain()); got != 3 {
+		t.Fatalf("after insert: |ActiveDomain| = %d, want 3", got)
+	}
+	d.Remove(F("R", "a", "c"))
+	if got := d.NumRepairs(); got != 1 {
+		t.Fatalf("after remove: NumRepairs = %v, want 1", got)
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"cqa/internal/core"
+)
+
+// planCache is a thread-safe LRU cache of prepared plans keyed by the
+// canonical query signature (schema.Query.Signature). Classification and
+// rewriting are query-only work — often exponential in the query size —
+// so memoizing them lets repeated queries skip straight to evaluation.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	// order is the recency list; front = most recently used. Values are
+	// *cacheEntry.
+	order   *list.List
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	sig  string
+	plan *core.Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached plan for sig, promoting it to most recently
+// used.
+func (c *planCache) get(sig string) (*core.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[sig]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts a plan, evicting the least recently used entry when over
+// capacity. Concurrent misses for the same signature may both call put;
+// the second call just refreshes the entry.
+func (c *planCache) put(sig string, plan *core.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[sig]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[sig] = c.order.PushFront(&cacheEntry{sig: sig, plan: plan})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).sig)
+		c.evictions++
+	}
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// counters snapshots the hit/miss/eviction counters.
+func (c *planCache) counters() (hits, misses, evictions uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

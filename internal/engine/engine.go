@@ -1,0 +1,186 @@
+// Package engine is the concurrent serving layer on top of core: a
+// thread-safe LRU plan cache that memoizes core.Prepare (classification +
+// consistent first-order rewriting, the expensive query-only work), a
+// worker-pool batch API that fans independent CERTAINTY checks across
+// goroutines, and an optional parallel evaluation hot path that splits
+// top-level quantifier iteration of the rewriting across workers on large
+// databases. See docs/ENGINE.md for the architecture.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// Options configures an Engine. The zero value selects sensible defaults.
+type Options struct {
+	// CacheSize is the maximum number of cached plans; ≤ 0 selects
+	// DefaultCacheSize.
+	CacheSize int
+	// Workers bounds the goroutines used by CertainBatch and by the
+	// parallel evaluation hot path; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// ParallelEval enables the fo parallel hot path for single-item
+	// Certain calls: top-level quantifier iteration is split across
+	// Workers goroutines once the candidate list reaches
+	// MinParallelCandidates values. Batch items always evaluate
+	// sequentially per item — the batch itself provides the parallelism.
+	ParallelEval bool
+	// MinParallelCandidates is the fan-out threshold for ParallelEval;
+	// ≤ 0 selects fo.DefaultMinParallelCandidates.
+	MinParallelCandidates int
+}
+
+// DefaultCacheSize is the plan-cache capacity when Options.CacheSize ≤ 0.
+const DefaultCacheSize = 256
+
+// Engine answers CERTAINTY(q) for serving workloads: plans are prepared
+// once per canonical query signature and reused, and batches of
+// independent (query, database) checks run on a worker pool. An Engine is
+// safe for concurrent use by multiple goroutines.
+type Engine struct {
+	opt   Options
+	cache *planCache
+	stats statsCounters
+}
+
+// New returns an engine with the given options.
+func New(opt Options) *Engine {
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = DefaultCacheSize
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opt: opt, cache: newPlanCache(opt.CacheSize)}
+}
+
+// Prepare returns the prepared plan for q, consulting the LRU cache
+// first. Queries that are alpha-equivalent (identical up to literal order
+// and variable renaming) share a plan; the Boolean CERTAINTY answer is
+// invariant under renaming, though the cached Classification may display
+// the variable names of the first query that produced the plan.
+// Preparation errors are not cached.
+func (e *Engine) Prepare(q schema.Query) (*core.Prepared, error) {
+	sig := q.Signature()
+	if p, ok := e.cache.get(sig); ok {
+		return p, nil
+	}
+	// Prepare outside the cache lock: concurrent misses for the same
+	// signature duplicate work instead of serializing all queries behind
+	// one slow rewrite.
+	p, err := core.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(sig, p)
+	return p, nil
+}
+
+// Certain answers CERTAINTY(q) on d using a cached plan, with the
+// parallel evaluation hot path when Options.ParallelEval is set.
+func (e *Engine) Certain(q schema.Query, d *db.Database) (bool, error) {
+	p, err := e.Prepare(q)
+	if err != nil {
+		return false, err
+	}
+	if e.opt.ParallelEval {
+		return p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates), nil
+	}
+	return p.Certain(d), nil
+}
+
+// Item is one independent CERTAINTY check of a batch.
+type Item struct {
+	Query schema.Query
+	DB    *db.Database
+}
+
+// Result is the outcome of one batch item. Exactly one of Certain being
+// meaningful or Err being non-nil holds; items skipped because the
+// context was cancelled carry the context error.
+type Result struct {
+	Certain bool
+	Err     error
+}
+
+// CertainBatch fans the independent checks across the engine's worker
+// pool and returns one result per item, in order. Each item is evaluated
+// sequentially (the batch is the parallelism); plans are shared through
+// the cache, so a batch of one hot query against many databases pays for
+// classification once. Errors — including panics from malformed inputs —
+// are isolated per item. Cancelling ctx stops dispatching new items;
+// in-flight items run to completion.
+func (e *Engine) CertainBatch(ctx context.Context, items []Item) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.stats.batches.Add(1)
+	results := make([]Result, len(items))
+	workers := e.opt.Workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				busy := e.stats.busyWorkers.Add(1)
+				e.stats.observePeak(busy)
+				results[i] = e.certainIsolated(items[i])
+				e.stats.busyWorkers.Add(-1)
+				e.stats.items.Add(1)
+			}
+		}()
+	}
+	dispatched := 0
+dispatch:
+	for i := range items {
+		select {
+		case idx <- i:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i := dispatched; i < len(items); i++ {
+		results[i] = Result{Err: context.Cause(ctx)}
+		e.stats.cancelled.Add(1)
+	}
+	for i := range results[:dispatched] {
+		if results[i].Err != nil {
+			e.stats.errors.Add(1)
+		}
+	}
+	return results
+}
+
+// certainIsolated runs one check, converting panics (e.g. from malformed
+// formulas or databases) into per-item errors so one bad item cannot take
+// down the batch.
+func (e *Engine) certainIsolated(it Item) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: item panicked: %v", r)}
+		}
+	}()
+	p, err := e.Prepare(it.Query)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{Certain: p.Certain(it.DB)}
+}

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+)
+
+func figure1() *db.Database {
+	return parse.MustDatabase(`
+		P(p1 | v1)
+		P(p1 | v2)
+		N(c | v2)
+	`)
+}
+
+func mustQuery(t *testing.T, src string) schema.Query {
+	t.Helper()
+	q, err := parse.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestCertainMatchesCore(t *testing.T) {
+	e := New(Options{})
+	q := mustQuery(t, "P(x | y), !N('c' | y)")
+	d := figure1()
+	want, err := core.Certain(q, d, core.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("engine = %v, core = %v", got, want)
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CachedPlans != 1 {
+		t.Fatalf("expected one miss and one cached plan, got %+v", st)
+	}
+}
+
+func TestPrepareCacheHitsAlphaVariants(t *testing.T) {
+	e := New(Options{})
+	variants := []string{
+		"R(x | y), !S(x | y)",
+		"R(a | b), !S(a | b)",
+		"!S(u | w), R(u | w)",
+	}
+	var first *core.Prepared
+	for i, src := range variants {
+		p, err := e.Prepare(mustQuery(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = p
+		} else if p != first {
+			t.Fatalf("variant %q did not hit the cached plan", src)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestPrepareErrorNotCached(t *testing.T) {
+	e := New(Options{})
+	bad := schema.NewQuery(
+		schema.Pos(schema.NewAtom("R", 1, schema.Var("x"))),
+		schema.Neg(schema.NewAtom("N", 1, schema.Var("z"))), // unsafe: z not positive
+	)
+	if _, err := e.Prepare(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	st := e.Stats()
+	if st.CachedPlans != 0 {
+		t.Fatalf("error was cached: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(Options{CacheSize: 2})
+	queries := []string{"A(x | y)", "B(x | y)", "C(x | y)"}
+	for _, src := range queries {
+		if _, err := e.Prepare(mustQuery(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CachedPlans != 2 || st.CacheEvictions != 1 {
+		t.Fatalf("plans/evictions = %d/%d, want 2/1", st.CachedPlans, st.CacheEvictions)
+	}
+	// A was least recently used and must have been evicted: preparing it
+	// again misses.
+	before := st.CacheMisses
+	if _, err := e.Prepare(mustQuery(t, "A(x | y)")); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().CacheMisses; got != before+1 {
+		t.Fatalf("expected re-prepare of evicted plan to miss (misses %d -> %d)", before, got)
+	}
+	// B stays cached (it was touched after A): preparing it hits.
+	beforeHits := e.Stats().CacheHits
+	if _, err := e.Prepare(mustQuery(t, "C(x | y)")); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().CacheHits; got != beforeHits+1 {
+		t.Fatal("expected C to still be cached")
+	}
+}
+
+func TestCertainBatch(t *testing.T) {
+	e := New(Options{Workers: 4})
+	rng := rand.New(rand.NewSource(11))
+	q := mustQuery(t, "P(x | y), !N('c' | y)")
+	items := make([]Item, 16)
+	want := make([]bool, len(items))
+	for i := range items {
+		d := gen.Database(rng, q, gen.DefaultDBOptions())
+		items[i] = Item{Query: q, DB: d}
+		ans, err := core.Certain(q, d, core.EngineAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ans
+	}
+	results := e.CertainBatch(context.Background(), items)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Certain != want[i] {
+			t.Fatalf("item %d: batch = %v, core = %v", i, r.Certain, want[i])
+		}
+	}
+	st := e.Stats()
+	if st.BatchItems != 16 || st.Batches != 1 {
+		t.Fatalf("batch counters wrong: %+v", st)
+	}
+	if st.CacheMisses != 1 {
+		t.Fatalf("one shared plan expected, misses = %d", st.CacheMisses)
+	}
+	if st.PeakBusyWorkers < 1 || st.PeakBusyWorkers > 4 {
+		t.Fatalf("peak busy workers = %d", st.PeakBusyWorkers)
+	}
+	if st.BusyWorkers != 0 {
+		t.Fatalf("busy workers after batch = %d, want 0", st.BusyWorkers)
+	}
+}
+
+func TestCertainBatchErrorIsolation(t *testing.T) {
+	e := New(Options{Workers: 2})
+	good := mustQuery(t, "P(x | y)")
+	bad := schema.NewQuery(
+		schema.Pos(schema.NewAtom("R", 1, schema.Var("x"))),
+		schema.Neg(schema.NewAtom("N", 1, schema.Var("z"))),
+	)
+	d := figure1()
+	items := []Item{
+		{Query: good, DB: d},
+		{Query: bad, DB: d},
+		{Query: good, DB: d},
+	}
+	results := e.CertainBatch(context.Background(), items)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good items errored: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("bad item did not error")
+	}
+	if !results[0].Certain || !results[2].Certain {
+		t.Fatal("P(x | y) is certain on figure1")
+	}
+	if e.Stats().BatchErrors != 1 {
+		t.Fatalf("batch errors = %d, want 1", e.Stats().BatchErrors)
+	}
+}
+
+func TestCertainBatchCancellation(t *testing.T) {
+	e := New(Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	q := mustQuery(t, "P(x | y)")
+	d := figure1()
+	// Cancel before dispatching: with an already-cancelled context, the
+	// select in the dispatch loop may still dispatch a few items (both
+	// channels are ready), but most items must carry the context error.
+	cancel()
+	items := make([]Item, 64)
+	for i := range items {
+		items[i] = Item{Query: q, DB: d}
+	}
+	results := e.CertainBatch(ctx, items)
+	skipped := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancelled batch completed every item")
+	}
+}
+
+func TestParallelEvalEngineAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	seq := New(Options{})
+	par := New(Options{ParallelEval: true, MinParallelCandidates: 1, Workers: 8})
+	q := mustQuery(t, "Lives(p | t), !Born(p | t), !Likes(p, t)")
+	for trial := 0; trial < 25; trial++ {
+		d := gen.Database(rng, q, gen.DBOptions{BlocksPerRelation: 10, MaxBlockSize: 2, DomainPerVariable: 6, ConstantBias: 0.7})
+		a, err := seq.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("trial %d: sequential = %v, parallel = %v", trial, a, b)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	e := New(Options{Workers: 3})
+	if _, err := e.Prepare(mustQuery(t, "R(x | y)")); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats().String()
+	for _, frag := range []string{"cache:", "batch:", "workers:"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("stats string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/parse"
+)
+
+// TestConcurrentPreparedAndCache hammers one engine — and through it one
+// shared Prepared plan and the LRU cache — from 32 goroutines. Run under
+// `go test -race ./...`; this is the concurrency contract of the engine:
+// plans are immutable after Prepare, databases are safe for concurrent
+// readers, and the cache serializes its own bookkeeping.
+func TestConcurrentPreparedAndCache(t *testing.T) {
+	const goroutines = 32
+	const iters = 60
+
+	e := New(Options{CacheSize: 8, Workers: 4})
+	hot := parse.MustQuery("Lives(p | t), !Born(p | t), !Likes(p, t)")
+	rng := rand.New(rand.NewSource(99))
+
+	// A fixed pool of databases, shared read-only by all goroutines, and
+	// the expected answers computed sequentially up front.
+	type testDB struct {
+		d    *db.Database
+		want bool
+	}
+	pool := make([]testDB, 8)
+	p, err := e.Prepare(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pool {
+		d := gen.Database(rng, hot, gen.DBOptions{BlocksPerRelation: 6, MaxBlockSize: 2, DomainPerVariable: 4, ConstantBias: 0.7})
+		pool[i] = testDB{d: d, want: p.Certain(d)}
+	}
+
+	// Churn queries force cache contention and evictions alongside the
+	// hot plan.
+	churn := make([]string, 24)
+	for i := range churn {
+		churn[i] = fmt.Sprintf("Q%d(x | y), !M%d(x | y)", i, i)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tc := pool[(g+i)%len(pool)]
+				// Hammer the shared Prepared plan directly.
+				if got := p.Certain(tc.d); got != tc.want {
+					t.Errorf("shared plan: got %v, want %v", got, tc.want)
+					return
+				}
+				// And through the cache (hot query stays resident).
+				got, err := e.Certain(hot, tc.d)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != tc.want {
+					t.Errorf("cached plan: got %v, want %v", got, tc.want)
+					return
+				}
+				// Churn the LRU with goroutine-specific queries.
+				q := parse.MustQuery(churn[(g*iters+i)%len(churn)])
+				if _, err := e.Prepare(q); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%16 == 0 {
+					_ = e.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.CachedPlans > 8 {
+		t.Fatalf("cache exceeded capacity: %d plans", st.CachedPlans)
+	}
+	if st.CacheHits == 0 || st.CacheEvictions == 0 {
+		t.Fatalf("stress run should hit and evict: %+v", st)
+	}
+}
+
+// TestConcurrentBatches runs many batches concurrently on one engine,
+// with parallel evaluation enabled, so batch workers, the parallel eval
+// workers, and the cache all interleave.
+func TestConcurrentBatches(t *testing.T) {
+	e := New(Options{CacheSize: 16, Workers: 4, ParallelEval: true, MinParallelCandidates: 1})
+	rng := rand.New(rand.NewSource(100))
+	q := parse.MustQuery("P(x | y), !N('c' | y)")
+	items := make([]Item, 12)
+	for i := range items {
+		items[i] = Item{Query: q, DB: gen.Database(rng, q, gen.DefaultDBOptions())}
+	}
+	want := e.CertainBatch(context.Background(), items)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := e.CertainBatch(context.Background(), items)
+			for i := range got {
+				if got[i].Err != nil || got[i].Certain != want[i].Certain {
+					t.Errorf("item %d: got (%v, %v), want (%v, nil)", i, got[i].Certain, got[i].Err, want[i].Certain)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

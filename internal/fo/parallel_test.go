@@ -1,0 +1,79 @@
+package fo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// TestEvalParallelAgreesWithEval checks the parallel hot path against the
+// sequential evaluator on random rewritings and databases, forcing the
+// fan-out with a threshold of 1 so even tiny candidate lists take the
+// parallel path.
+func TestEvalParallelAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DBOptions{BlocksPerRelation: 5, MaxBlockSize: 3, DomainPerVariable: 4, ConstantBias: 0.7}
+	cases := 0
+	for cases < 120 {
+		q := gen.Query(rng, opts)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			continue // not FO; the parallel path only sees rewritings
+		}
+		cases++
+		d := gen.Database(rng, q, dbOpts)
+		want := fo.Eval(d, f)
+		for _, workers := range []int{1, 2, 7} {
+			if got := fo.EvalParallelOpts(d, f, workers, 1); got != want {
+				t.Fatalf("EvalParallel(workers=%d) = %v, Eval = %v on %s\n%s", workers, got, want, q, d)
+			}
+		}
+		if got := fo.EvalParallel(d, f, 4); got != want {
+			t.Fatalf("EvalParallel(default threshold) = %v, Eval = %v on %s", got, want, q)
+		}
+	}
+}
+
+// The fixed example queries exercise ∀-heavy rewritings (negated atoms
+// become guarded universals) through the parallel path.
+func TestEvalParallelExamples(t *testing.T) {
+	queries := []string{
+		"R(x | y), S(y | z)",
+		"P(x | y), !N('c' | y)",
+		"Lives(p | t), !Born(p | t), !Likes(p, t)",
+		"S(x), !N1('c' | x), !N2('c' | x), !N3('c' | x)",
+	}
+	rng := rand.New(rand.NewSource(78))
+	for _, src := range queries {
+		q := parse.MustQuery(src)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := gen.Database(rng, q, gen.DBOptions{BlocksPerRelation: 8, MaxBlockSize: 2, DomainPerVariable: 5, ConstantBias: 0.6})
+			want := fo.Eval(d, f)
+			if got := fo.EvalParallelOpts(d, f, 8, 1); got != want {
+				t.Fatalf("%s: parallel = %v, sequential = %v\n%s", src, got, want, d)
+			}
+		}
+	}
+}
+
+// EvalParallel must reject non-sentences exactly like Eval.
+func TestEvalParallelPanicsOnFreeVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on free variables")
+		}
+	}()
+	d := parse.MustDatabase("R(a | b)")
+	f := fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{schema.Var("x"), schema.Var("y")}}
+	fo.EvalParallel(d, f, 2)
+}

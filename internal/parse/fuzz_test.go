@@ -8,9 +8,9 @@ import (
 	"cqa/internal/parse"
 )
 
-// FuzzQuery checks that the query parser never panics and that accepted
-// queries are valid and round-trip through String.
-func FuzzQuery(f *testing.F) {
+// FuzzParseQuery checks that the query parser never panics and that
+// accepted queries are valid and round-trip through String.
+func FuzzParseQuery(f *testing.F) {
 	seeds := []string{
 		"R(x | y), !S(y | x)",
 		"R(x, y)",

@@ -1,0 +1,61 @@
+package schema
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Signature returns a canonical key for q: two queries have equal
+// signatures iff they are identical up to literal order and a consistent
+// renaming of variables. Constants, relation names, signatures [n, k],
+// and polarity are preserved verbatim. Self-join-freeness makes sorting
+// literals by relation name a total order, after which variables are
+// numbered by first occurrence; the encoding is unambiguous (fields are
+// separated by control characters that cannot occur in parsed input), so
+// the query shape is reconstructible from the signature up to variable
+// names.
+//
+// Because CERTAINTY(q) is a Boolean problem, its answer — and the
+// classification verdict — is invariant under variable renaming, which is
+// what makes Signature a sound cache key for prepared plans.
+func (q Query) Signature() string {
+	lits := append([]Literal(nil), q.Lits...)
+	sort.SliceStable(lits, func(i, j int) bool { return lits[i].Atom.Rel < lits[j].Atom.Rel })
+	names := make(map[string]string)
+	var b strings.Builder
+	for _, l := range lits {
+		if l.Neg {
+			b.WriteByte('!')
+		}
+		// Length-prefixed so relation names containing control
+		// characters cannot forge encoding structure.
+		b.WriteString(strconv.Itoa(len(l.Atom.Rel)))
+		b.WriteByte(':')
+		b.WriteString(l.Atom.Rel)
+		b.WriteByte('\x01')
+		b.WriteString(strconv.Itoa(len(l.Atom.Terms)))
+		b.WriteByte('.')
+		b.WriteString(strconv.Itoa(l.Atom.Key))
+		for _, t := range l.Atom.Terms {
+			if t.IsVar {
+				n, ok := names[t.Name]
+				if !ok {
+					n = "v" + strconv.Itoa(len(names))
+					names[t.Name] = n
+				}
+				b.WriteByte('\x02')
+				b.WriteString(n)
+			} else {
+				// Length-prefixed so constants containing control
+				// characters cannot forge encoding structure.
+				b.WriteByte('\x03')
+				b.WriteString(strconv.Itoa(len(t.Name)))
+				b.WriteByte(':')
+				b.WriteString(t.Name)
+			}
+		}
+		b.WriteByte('\x04')
+	}
+	return b.String()
+}
