@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench experiments clean
+.PHONY: check build vet test race fuzz bench experiments serve-smoke clean
 
 check: vet test race fuzz bench
 
@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME) ./internal/parse
 	$(GO) test -run '^$$' -fuzz FuzzDatabase -fuzztime $(FUZZTIME) ./internal/parse
 	$(GO) test -run '^$$' -fuzz FuzzSQLExec -fuzztime $(FUZZTIME) ./internal/sqlexec
+	$(GO) test -run '^$$' -fuzz FuzzServerCertainRequest -fuzztime $(FUZZTIME) ./internal/server
 
 # One iteration per benchmark: compiles and exercises every benchmark
 # body without waiting for stable timings.
@@ -34,6 +35,25 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/certbench -quick
+
+# Boot a real cqad on a random port, hit /healthz and answer one
+# /v1/certain request, then shut it down. Fails loudly at each step.
+serve-smoke:
+	$(GO) build -o /tmp/cqad-smoke ./cmd/cqad
+	@rm -f /tmp/cqad-smoke.addr; \
+	/tmp/cqad-smoke -addr 127.0.0.1:0 -addr-file /tmp/cqad-smoke.addr & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/cqad-smoke.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/cqad-smoke.addr) || { kill $$pid; exit 1; }; \
+	echo "cqad on $$addr"; \
+	curl -fsS "http://$$addr/healthz" || { kill $$pid; exit 1; }; echo; \
+	out=$$(curl -fsS -d '{"query": "R(x | y)", "facts": "R(a | 1)\nR(a | 2)"}' \
+	    "http://$$addr/v1/certain") || { kill $$pid; exit 1; }; \
+	echo "$$out"; \
+	echo "$$out" | grep -q '"certain": *true' || { echo "unexpected answer"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	rm -f /tmp/cqad-smoke /tmp/cqad-smoke.addr; \
+	echo "serve-smoke OK"
 
 clean:
 	$(GO) clean -testcache

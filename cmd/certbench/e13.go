@@ -1,0 +1,254 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"cqa/internal/engine"
+	"cqa/internal/gen"
+	"cqa/internal/loadgen"
+	"cqa/internal/parse"
+	"cqa/internal/server"
+)
+
+// runE13 exercises the serving daemon end to end: an in-process cqad
+// server (internal/server over internal/engine) is driven by the
+// cqaload library (internal/loadgen) with a classify/certain/batch mix,
+// every served answer is validated against core.Certain ground truth,
+// and the operational surfaces (/metrics, /debug/vars, /v1/stats) are
+// checked for the counters the run must have produced. Admission
+// control is then demonstrated by shrinking the in-flight bound.
+func runE13(quick bool) error {
+	clients, requests := 8, 40
+	queries, dbsPer := 8, 4
+	if quick {
+		clients, requests = 4, 15
+		queries, dbsPer = 4, 3
+	}
+
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	srv := server.New(server.Options{Engine: eng})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	w := loadgen.NewWorkload(13, loadgen.WorkloadOptions{Queries: queries, DBsPerQuery: dbsPer})
+	// Random weakly-guarded queries skew acyclic; append a known hard
+	// query so the naive-fallback serving path is exercised under load.
+	hard := parse.MustQuery("R(x | y), !S(y | x)")
+	hq := loadgen.WorkloadQuery{Query: hard, Source: hard.String()}
+	hrng := rand.New(rand.NewSource(1313))
+	for i := 0; i < dbsPer; i++ {
+		d := gen.Database(hrng, hard, gen.DefaultDBOptions())
+		hq.DBs = append(hq.DBs, d)
+		hq.Facts = append(hq.Facts, d.String())
+	}
+	w.Queries = append(w.Queries, hq)
+	queries++
+	fo, nonFO := 0, 0
+	for _, wq := range w.Queries {
+		// The workload mixes rewriting-served and naive-fallback queries;
+		// count them for the table.
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"query": %q}`, wq.Source)))
+		if err != nil {
+			return err
+		}
+		var cls server.ClassifyResponse
+		err = json.NewDecoder(resp.Body).Decode(&cls)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if cls.Verdict == "FO" {
+			fo++
+		} else {
+			nonFO++
+		}
+	}
+
+	rep, err := loadgen.Run(context.Background(), ts.URL, w, loadgen.Options{
+		Clients:  clients,
+		Requests: requests,
+		Seed:     131,
+		Mix:      loadgen.Mix{Classify: 1, Certain: 6, Batch: 2},
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Failures > 0 {
+		for _, c := range rep.Calls {
+			if c.Err != "" {
+				return fmt.Errorf("request failed: %s q%d: %s", c.Kind, c.QueryIdx, c.Err)
+			}
+		}
+	}
+	checked, err := loadgen.Validate(rep, w)
+	if err != nil {
+		return fmt.Errorf("served answers disagree with core.Certain: %w", err)
+	}
+
+	fmt.Printf("in-process server under load (%d clients × %d requests, %d queries [%d FO, %d not], %d dbs each):\n",
+		clients, requests, queries, fo, nonFO, dbsPer)
+	fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
+	fmt.Printf("  self-validation: %d served answers agree with core.Certain\n", checked)
+
+	// The operational surfaces must reflect the traffic.
+	want := float64(rep.Total + queries) // loadgen requests + the classify warm-up
+	stats, vars, metricsLine, err := scrapeOps(ts.URL)
+	if err != nil {
+		return err
+	}
+	if got := stats.Server["requests_total"].(float64); got != want {
+		return fmt.Errorf("/v1/stats requests_total = %v, want %v", got, want)
+	}
+	if stats.Engine.CacheHits == 0 || stats.Engine.CacheHitRate <= 0 {
+		return fmt.Errorf("/v1/stats shows no cache hits under repeated traffic: %+v", stats.Engine)
+	}
+	cqad, ok := vars["cqad"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("/debug/vars lacks the cqad registry")
+	}
+	lat, ok := cqad["request_latency"].(map[string]any)
+	if !ok || lat["count"].(float64) != want || lat["p99_ns"].(float64) <= 0 {
+		return fmt.Errorf("/debug/vars latency histogram wrong: %v", cqad["request_latency"])
+	}
+	for _, frag := range []string{"requests_total=", "request_latency{count=", "engine_cache_hit_rate=", "p99="} {
+		if !strings.Contains(metricsLine, frag) {
+			return fmt.Errorf("/metrics lacks %q: %s", frag, metricsLine)
+		}
+	}
+	fmt.Printf("  ops surfaces: requests_total=%v cache_hit_rate=%.3f p99=%s (consistent across /v1/stats, /debug/vars, /metrics)\n",
+		want, stats.Engine.CacheHitRate, time.Duration(int64(lat["p99_ns"].(float64))))
+
+	// Admission control: hold the only slot of a one-slot server with a
+	// request whose body arrives slowly, and watch concurrent traffic be
+	// shed with 429 + Retry-After while the in-flight request still
+	// completes correctly once its body lands.
+	tight := server.New(server.Options{Engine: eng, MaxInFlight: 1})
+	tts := httptest.NewServer(tight.Handler())
+	defer tts.Close()
+
+	pr, pw := io.Pipe()
+	slowReq, err := http.NewRequest("POST", tts.URL+"/v1/certain", pr)
+	if err != nil {
+		return err
+	}
+	slowDone := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(slowReq)
+		if err != nil {
+			slowDone <- nil
+			return
+		}
+		slowDone <- resp
+	}()
+	if _, err := pw.Write([]byte(`{"query": "R(x | y)", `)); err != nil {
+		return err
+	}
+	// Wait until the slow request has been admitted (it holds the slot as
+	// soon as a concurrent request starts seeing 429).
+	shed := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for shed == 0 && time.Now().Before(deadline) {
+		st, _, err := quickCertain(tts.URL)
+		if err != nil {
+			return err
+		}
+		if st == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		return fmt.Errorf("one-slot server never shed load while the slot was held")
+	}
+	var retryAfter string
+	for i := 0; i < 9; i++ {
+		st, ra, err := quickCertain(tts.URL)
+		if err != nil {
+			return err
+		}
+		if st != http.StatusTooManyRequests {
+			return fmt.Errorf("held server answered %d, want 429", st)
+		}
+		shed++
+		retryAfter = ra
+	}
+	pw.Write([]byte(`"facts": "R(a | 1)\nR(a | 2)"}`))
+	pw.Close()
+	slow := <-slowDone
+	if slow == nil || slow.StatusCode != http.StatusOK {
+		return fmt.Errorf("held request did not complete cleanly: %v", slow)
+	}
+	var slowOut server.CertainResponse
+	err = json.NewDecoder(slow.Body).Decode(&slowOut)
+	slow.Body.Close()
+	if err != nil || !slowOut.Certain {
+		return fmt.Errorf("held request answer wrong: %+v err %v", slowOut, err)
+	}
+	rejected := tight.Registry().Counter("rejected_total").Value()
+	if rejected < uint64(shed) {
+		return fmt.Errorf("clients saw %d rejections but the server counted %d", shed, rejected)
+	}
+	// The freed slot serves again.
+	if st, _, err := quickCertain(tts.URL); err != nil || st != http.StatusOK {
+		return fmt.Errorf("after release: status %d err %v", st, err)
+	}
+	fmt.Printf("admission control (max-inflight=1): %d requests shed with 429 (Retry-After: %s) while the slot was held; held request completed correctly and service resumed\n",
+		shed, retryAfter)
+	return nil
+}
+
+// quickCertain fires one small /v1/certain request and reports its
+// status and Retry-After header.
+func quickCertain(base string) (int, string, error) {
+	resp, err := http.Post(base+"/v1/certain", "application/json",
+		strings.NewReader(`{"query": "R(x | y)", "facts": "R(a | 1)\nR(a | 2)"}`))
+	if err != nil {
+		return 0, "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// scrapeOps fetches the three operational endpoints.
+func scrapeOps(base string) (server.StatsResponse, map[string]any, string, error) {
+	var stats server.StatsResponse
+	var vars map[string]any
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return stats, nil, "", err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return stats, nil, "", err
+	}
+	resp, err = http.Get(base + "/debug/vars")
+	if err != nil {
+		return stats, nil, "", err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		return stats, nil, "", err
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return stats, nil, "", err
+	}
+	line, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return stats, nil, "", err
+	}
+	return stats, vars, string(line), nil
+}

@@ -12,6 +12,10 @@
 //	    -cache       route through the plan-cache engine
 //	    -stats       print engine stats to stderr
 //	Several database files run as one engine batch on a worker pool.
+//	Exit status: 0 when the query is certain on every database, 1 when
+//	it is not certain on some database, 2 on usage errors, and 3 on
+//	parse/classify/database errors — scripts can branch on certainty
+//	without parsing the output.
 //
 // Query syntax: R(x | y), !S(y | x) — key positions before '|', '!' for
 // negation, 'quoted' constants. Database files hold one fact per line:
@@ -20,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +57,10 @@ func main() {
 	case "sql":
 		err = sqlCmd(args, os.Stdout)
 	case "eval":
-		err = evalCmd(args, os.Stdin, os.Stdout)
+		// eval has its own exit-code contract (see usage): scripts branch
+		// on certainty without parsing output, and distinguish "the query
+		// is not certain" from "the invocation was broken".
+		os.Exit(evalExitCode(evalCmd(args, os.Stdin, os.Stdout)))
 	case "answers":
 		err = answersCmd(args, os.Stdin, os.Stdout, os.Stderr)
 	case "explain":
@@ -77,6 +85,8 @@ func usage() {
   cqa rewrite  '<query>'
   cqa sql      '<query>'
   cqa eval     [-engine auto|rewriting|direct|naive] [-parallel] [-cache] [-stats] '<query>' <db-file|-> [db-file...]
+               exit status: 0 certain on every database, 1 not certain on
+               some database, 2 usage error, 3 parse/classify/database error
   cqa answers  -free x,y '<query>' <db-file|->
   cqa explain  '<query>' <db-file|->       trace Algorithm 1`)
 }
@@ -216,22 +226,50 @@ func sqlCmd(args []string, out io.Writer) error {
 	return nil
 }
 
-func evalCmd(args []string, stdin io.Reader, out io.Writer) error {
+// usageError marks an eval failure as the caller's invocation being
+// wrong (bad flags, missing arguments), as opposed to bad input data.
+type usageError struct{ error }
+
+// evalExitCode maps an evalCmd outcome onto the documented exit-code
+// contract: 0 certain everywhere, 1 not certain somewhere, 2 usage
+// error, 3 parse/classify/database error.
+func evalExitCode(certain bool, err error) int {
+	switch {
+	case err == nil && certain:
+		return 0
+	case err == nil:
+		return 1
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		fmt.Fprintln(os.Stderr, "cqa:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 3
+	}
+}
+
+func evalCmd(args []string, stdin io.Reader, out io.Writer) (bool, error) {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	engineName := fs.String("engine", "auto", "auto|rewriting|direct|naive")
 	parallel := fs.Bool("parallel", false, "fan evaluation across GOMAXPROCS workers (engine auto only)")
 	cache := fs.Bool("cache", false, "route through the plan-cache engine (engine auto only)")
 	stats := fs.Bool("stats", false, "print engine cache/worker stats to stderr (implies -cache)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return false, err
+		}
+		return false, usageError{err}
 	}
 	rest := fs.Args()
 	if len(rest) < 2 {
-		return fmt.Errorf("eval needs a query and at least one database file (or - for stdin)")
+		return false, usageError{fmt.Errorf("eval needs a query and at least one database file (or - for stdin)")}
 	}
 	q, err := parse.Query(rest[0])
 	if err != nil {
-		return err
+		return false, err
 	}
 	dbs := make([]*db.Database, 0, len(rest)-1)
 	for _, name := range rest[1:] {
@@ -242,40 +280,43 @@ func evalCmd(args []string, stdin io.Reader, out io.Writer) error {
 			src, err = os.ReadFile(name)
 		}
 		if err != nil {
-			return err
+			return false, err
 		}
 		d, err := parse.Database(string(src))
 		if err != nil {
-			return err
+			return false, err
 		}
 		if err := parse.DeclareQueryRelations(d, q); err != nil {
-			return err
+			return false, err
 		}
 		dbs = append(dbs, d)
 	}
 	useEngine := *parallel || *cache || *stats || len(dbs) > 1
 	if useEngine && *engineName != "auto" {
-		return fmt.Errorf("-parallel/-cache/-stats and multiple databases require -engine auto")
+		return false, usageError{fmt.Errorf("-parallel/-cache/-stats and multiple databases require -engine auto")}
 	}
 	if !useEngine {
 		eng, err := engineByName(*engineName)
 		if err != nil {
-			return err
+			return false, usageError{err}
 		}
 		ans, err := core.Certain(q, dbs[0], eng)
 		if err != nil {
-			return err
+			return false, err
 		}
 		fmt.Fprintln(out, ans)
-		return nil
+		return ans, nil
 	}
 	e := engine.New(engine.Options{ParallelEval: *parallel})
+	defer e.Close()
+	all := true
 	if len(dbs) == 1 {
 		ans, err := e.Certain(q, dbs[0])
 		if err != nil {
-			return err
+			return false, err
 		}
 		fmt.Fprintln(out, ans)
+		all = ans
 	} else {
 		items := make([]engine.Item, len(dbs))
 		for i, d := range dbs {
@@ -283,15 +324,16 @@ func evalCmd(args []string, stdin io.Reader, out io.Writer) error {
 		}
 		for i, r := range e.CertainBatch(context.Background(), items) {
 			if r.Err != nil {
-				return fmt.Errorf("%s: %w", rest[1+i], r.Err)
+				return false, fmt.Errorf("%s: %w", rest[1+i], r.Err)
 			}
 			fmt.Fprintf(out, "%s: %v\n", rest[1+i], r.Certain)
+			all = all && r.Certain
 		}
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, e.Stats())
 	}
-	return nil
+	return all, nil
 }
 
 func answersCmd(args []string, stdin io.Reader, out, errw io.Writer) error {

@@ -101,21 +101,50 @@ func TestEvalCommand(t *testing.T) {
 	path := writeDB(t, "R(a | 1)\nR(a | 2)\n")
 	for _, engine := range []string{"auto", "rewriting", "direct", "naive"} {
 		var out bytes.Buffer
-		err := evalCmd([]string{"-engine", engine, "R(x | y)", path}, strings.NewReader(""), &out)
+		certain, err := evalCmd([]string{"-engine", engine, "R(x | y)", path}, strings.NewReader(""), &out)
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
 		}
-		if strings.TrimSpace(out.String()) != "true" {
-			t.Errorf("engine %s: output %q, want true", engine, out.String())
+		if !certain || strings.TrimSpace(out.String()) != "true" {
+			t.Errorf("engine %s: certain=%v output %q, want true", engine, certain, out.String())
 		}
 	}
 	var out bytes.Buffer
-	err := evalCmd([]string{"R(x | '1')", "-"}, strings.NewReader("R(a | 1)\nR(a | 2)\n"), &out)
+	certain, err := evalCmd([]string{"R(x | '1')", "-"}, strings.NewReader("R(a | 1)\nR(a | 2)\n"), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.TrimSpace(out.String()) != "false" {
-		t.Errorf("stdin eval output %q, want false", out.String())
+	if certain || strings.TrimSpace(out.String()) != "false" {
+		t.Errorf("stdin eval certain=%v output %q, want false", certain, out.String())
+	}
+}
+
+func TestEvalExitCodes(t *testing.T) {
+	path := writeDB(t, "R(a | 1)\nR(a | 2)\n")
+	empty := writeDB(t, "R(b | 1)\n")
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		want  int
+	}{
+		{"certain", []string{"R(x | y)", path}, "", 0},
+		{"not certain", []string{"R(x | '1')", path}, "", 1},
+		{"batch with one uncertain db", []string{"R(x | '1')", path, empty}, "", 1},
+		{"missing db arg", []string{"R(x | y)"}, "", 2},
+		{"bad flag", []string{"-bogus", "R(x | y)", path}, "", 2},
+		{"unknown engine", []string{"-engine", "bogus", "R(x | y)", path}, "", 2},
+		{"flag conflict", []string{"-engine", "naive", "-parallel", "R(x | y)", path}, "", 2},
+		{"query parse error", []string{"bad(", path}, "", 3},
+		{"missing db file", []string{"R(x | y)", "/nonexistent/path"}, "", 3},
+		{"bad db contents", []string{"R(x | y)", "-"}, "not a fact", 3},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		got := evalExitCode(evalCmd(tc.args, strings.NewReader(tc.stdin), &out))
+		if got != tc.want {
+			t.Errorf("%s: exit code = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }
 
@@ -124,38 +153,40 @@ func TestEvalEngineFlags(t *testing.T) {
 	for _, flags := range [][]string{{"-cache"}, {"-parallel"}, {"-cache", "-parallel"}} {
 		var out bytes.Buffer
 		args := append(append([]string{}, flags...), "R(x | y)", path)
-		if err := evalCmd(args, strings.NewReader(""), &out); err != nil {
+		certain, err := evalCmd(args, strings.NewReader(""), &out)
+		if err != nil {
 			t.Fatalf("%v: %v", flags, err)
 		}
-		if strings.TrimSpace(out.String()) != "true" {
+		if !certain || strings.TrimSpace(out.String()) != "true" {
 			t.Errorf("%v: output %q, want true", flags, out.String())
 		}
 	}
 	// Multiple database files answer as one engine batch, one line each.
 	path2 := writeDB(t, "R(b | 1)\n")
 	var out bytes.Buffer
-	if err := evalCmd([]string{"R(x | y)", path, path2}, strings.NewReader(""), &out); err != nil {
+	certain, err := evalCmd([]string{"R(x | y)", path, path2}, strings.NewReader(""), &out)
+	if err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 2 || !strings.HasSuffix(lines[0], "true") || !strings.HasSuffix(lines[1], "true") {
+	if !certain || len(lines) != 2 || !strings.HasSuffix(lines[0], "true") || !strings.HasSuffix(lines[1], "true") {
 		t.Errorf("batch output wrong: %q", out.String())
 	}
 	// Engine flags are incompatible with explicit non-auto engines.
-	if err := evalCmd([]string{"-engine", "naive", "-parallel", "R(x | y)", path}, strings.NewReader(""), &out); err == nil {
+	if _, err := evalCmd([]string{"-engine", "naive", "-parallel", "R(x | y)", path}, strings.NewReader(""), &out); err == nil {
 		t.Error("-parallel with -engine naive should fail")
 	}
 }
 
 func TestEvalErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := evalCmd([]string{"R(x | y)"}, strings.NewReader(""), &out); err == nil {
+	if _, err := evalCmd([]string{"R(x | y)"}, strings.NewReader(""), &out); err == nil {
 		t.Error("missing db argument should fail")
 	}
-	if err := evalCmd([]string{"-engine", "bogus", "R(x | y)", "-"}, strings.NewReader(""), &out); err == nil {
+	if _, err := evalCmd([]string{"-engine", "bogus", "R(x | y)", "-"}, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown engine should fail")
 	}
-	if err := evalCmd([]string{"R(x | y)", "/nonexistent/path"}, strings.NewReader(""), &out); err == nil {
+	if _, err := evalCmd([]string{"R(x | y)", "/nonexistent/path"}, strings.NewReader(""), &out); err == nil {
 		t.Error("missing file should fail")
 	}
 }

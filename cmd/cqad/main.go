@@ -1,0 +1,189 @@
+// Command cqad is the CERTAINTY serving daemon: an HTTP/JSON API over
+// the plan-cached engine (internal/server), with admission control,
+// per-request timeouts, metrics, and graceful shutdown.
+//
+// Usage:
+//
+//	cqad [-addr :8080] [-dbdir dir] [-cache-size 256] [-workers 0]
+//	     [-max-inflight 64] [-timeout 10s] [-max-body 1048576]
+//	     [-parallel-eval] [-pprof] [-addr-file path]
+//
+// The database directory is scanned non-recursively for *.db files in
+// the cqa fact syntax (one fact per line); each becomes a preloaded
+// database addressable by its base name, e.g. people.db → "people".
+//
+// Endpoints: POST /v1/classify, /v1/certain, /v1/batch; GET /v1/stats,
+// /healthz, /readyz, /metrics, /debug/vars (+ /debug/pprof with -pprof).
+// See docs/SERVING.md.
+//
+// On SIGINT/SIGTERM the daemon flips /readyz to 503, drains in-flight
+// requests (bounded by -drain-timeout), then closes the engine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/parse"
+	"cqa/internal/server"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		log.Fatalf("cqad: %v", err)
+	}
+}
+
+// config is the parsed flag set, separated from flag handling so tests
+// can drive run-adjacent helpers directly.
+type config struct {
+	addr         string
+	addrFile     string
+	dbDir        string
+	cacheSize    int
+	workers      int
+	maxInFlight  int
+	timeout      time.Duration
+	drainTimeout time.Duration
+	maxBody      int64
+	parallelEval bool
+	pprof        bool
+}
+
+func parseFlags(args []string, errw *os.File) (config, error) {
+	fs := flag.NewFlagSet("cqad", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var c config
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	fs.StringVar(&c.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
+	fs.StringVar(&c.dbDir, "dbdir", "", "directory of *.db files preloaded as named databases")
+	fs.IntVar(&c.cacheSize, "cache-size", 0, "plan cache capacity (0 = engine default)")
+	fs.IntVar(&c.workers, "workers", 0, "batch/parallel worker count (0 = GOMAXPROCS)")
+	fs.IntVar(&c.maxInFlight, "max-inflight", 0, "max concurrently admitted API requests before shedding with 429 (0 = 64)")
+	fs.DurationVar(&c.timeout, "timeout", 0, "per-request timeout (0 = 10s)")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	fs.Int64Var(&c.maxBody, "max-body", 0, "max request body bytes before 413 (0 = 1 MiB)")
+	fs.BoolVar(&c.parallelEval, "parallel-eval", false, "enable the parallel evaluation hot path")
+	fs.BoolVar(&c.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(errw, "cqad: unexpected arguments: %v\n", fs.Args())
+		return config{}, errors.New("unexpected arguments")
+	}
+	return c, nil
+}
+
+func run(cfg config) error {
+	dbs, err := loadDatabases(cfg.dbDir)
+	if err != nil {
+		return err
+	}
+	if cfg.dbDir != "" {
+		names := make([]string, 0, len(dbs))
+		for n := range dbs {
+			names = append(names, n)
+		}
+		log.Printf("cqad: preloaded %d database(s) from %s: %s", len(dbs), cfg.dbDir, strings.Join(names, ", "))
+	}
+
+	eng := engine.New(engine.Options{
+		CacheSize:    cfg.cacheSize,
+		Workers:      cfg.workers,
+		ParallelEval: cfg.parallelEval,
+	})
+	srv := server.New(server.Options{
+		Engine:         eng,
+		Databases:      dbs,
+		MaxInFlight:    cfg.maxInFlight,
+		RequestTimeout: cfg.timeout,
+		MaxBodyBytes:   cfg.maxBody,
+		EnablePprof:    cfg.pprof,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("cqad: listening on %s", ln.Addr())
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("cqad: %s received, draining (max %s)", sig, cfg.drainTimeout)
+	case err := <-errCh:
+		return err // listener failed before any signal
+	}
+
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("cqad: drain incomplete: %v", err)
+	}
+	eng.Close()
+	log.Printf("cqad: shutdown complete; final stats: %s", eng.Stats())
+	return nil
+}
+
+// loadDatabases reads every *.db file directly under dir (base name sans
+// extension → database). An empty dir means no preloaded databases.
+func loadDatabases(dir string) (map[string]*db.Database, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	dbs := make(map[string]*db.Database)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".db") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		d, err := parse.Database(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		dbs[strings.TrimSuffix(e.Name(), ".db")] = d
+	}
+	return dbs, nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestLoadDatabases(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"people.db": "R(a | 1)\nR(a | 2)\n",
+		"towns.db":  "T(x | y)\n",
+		"notes.txt": "ignored",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dbs, err := loadDatabases(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 2 {
+		t.Fatalf("loaded %d databases, want 2", len(dbs))
+	}
+	if dbs["people"] == nil || dbs["people"].Size() != 2 {
+		t.Errorf("people database wrong: %v", dbs["people"])
+	}
+	if dbs["towns"] == nil || dbs["towns"].Relation("T") == nil {
+		t.Errorf("towns database wrong")
+	}
+
+	if _, err := loadDatabases(""); err != nil {
+		t.Errorf("empty dir should be a no-op, got %v", err)
+	}
+	if _, err := loadDatabases(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing dir should fail")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.db"), []byte("R(a |"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDatabases(dir); err == nil || !strings.Contains(err.Error(), "bad.db") {
+		t.Errorf("bad fact file should fail with its name, got %v", err)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-max-inflight", "7", "-timeout", "2s", "-pprof"}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.maxInFlight != 7 || cfg.timeout != 2*time.Second || !cfg.pprof {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"trailing"}, devNull(t)); err == nil {
+		t.Error("trailing args should fail")
+	}
+	if _, err := parseFlags([]string{"-bogus"}, devNull(t)); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestRunServesAndDrains boots the daemon on a random port, checks a
+// round-trip, sends itself SIGTERM, and expects a clean exit.
+func TestRunServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "people.db"), []byte("R(a | 1)\nR(a | 2)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-dbdir", dir,
+		"-drain-timeout", "5s",
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(cfg) }()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not write the addr file in time")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/certain", "application/json",
+		strings.NewReader(`{"query": "R(x | y)", "database": "people"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"certain":true`) {
+		t.Fatalf("round-trip: %d %s", resp.StatusCode, body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}

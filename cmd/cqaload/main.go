@@ -1,0 +1,110 @@
+// Command cqaload is the closed-loop load generator for cqad: N clients
+// each fire M requests drawn from a classify/certain/batch mix over a
+// reproducible internal/gen workload, then the run is summarized
+// (throughput, latency percentiles) and optionally validated against
+// core.Certain ground truth.
+//
+// Usage:
+//
+//	cqaload -url http://localhost:8080 [-clients 4] [-requests 25]
+//	        [-seed 1] [-queries 6] [-dbs 4] [-batch 4]
+//	        [-mix classify=1,certain=8,batch=1] [-validate]
+//
+// The workload is generated locally and shipped inline in each request
+// (the /v1/certain and /v1/batch facts field), so cqaload needs no
+// preloaded databases on the server. Exit status: 0 on a clean run,
+// 1 when any request failed or validation found a disagreement.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"cqa/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "base URL of the cqad server")
+	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
+	requests := flag.Int("requests", 25, "requests per client")
+	seed := flag.Int64("seed", 1, "workload and sequencing seed")
+	queries := flag.Int("queries", 6, "distinct queries in the workload")
+	dbs := flag.Int("dbs", 4, "databases per query")
+	batch := flag.Int("batch", 4, "databases per /v1/batch request")
+	mixFlag := flag.String("mix", "classify=1,certain=8,batch=1", "request mix weights")
+	validate := flag.Bool("validate", false, "cross-check every served answer against core.Certain")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqaload:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := loadgen.NewWorkload(*seed, loadgen.WorkloadOptions{Queries: *queries, DBsPerQuery: *dbs})
+	fmt.Printf("workload: %d queries × %d databases (seed %d); driving %s\n",
+		len(w.Queries), *dbs, *seed, *url)
+	rep, err := loadgen.Run(ctx, *url, w, loadgen.Options{
+		Clients:   *clients,
+		Requests:  *requests,
+		Seed:      *seed,
+		Mix:       mix,
+		BatchSize: *batch,
+	})
+	if rep != nil {
+		fmt.Println(rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqaload:", err)
+		os.Exit(1)
+	}
+	if *validate {
+		checked, err := loadgen.Validate(rep, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqaload: VALIDATION FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("validated %d served answer(s) against core.Certain: all agree\n", checked)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseMix reads "classify=1,certain=8,batch=1" (parts may be omitted).
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return m, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch kv[0] {
+		case "classify":
+			m.Classify = n
+		case "certain":
+			m.Certain = n
+		case "batch":
+			m.Batch = n
+		default:
+			return m, fmt.Errorf("unknown mix kind %q", kv[0])
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("classify=2,certain=5,batch=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Classify != 2 || m.Certain != 5 || m.Batch != 3 {
+		t.Errorf("mix = %+v", m)
+	}
+	m, err = parseMix("certain=1")
+	if err != nil || m.Certain != 1 || m.Classify != 0 {
+		t.Errorf("partial mix = %+v, err %v", m, err)
+	}
+	for _, bad := range []string{"certain", "certain=x", "certain=-1", "bogus=1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,9 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/schema"
 )
+
+// ErrClosed is returned by engine methods after Close.
+var ErrClosed = errors.New("engine: closed")
 
 // Options configures an Engine. The zero value selects sensible defaults.
 type Options struct {
@@ -48,6 +52,12 @@ type Engine struct {
 	opt   Options
 	cache *planCache
 	stats statsCounters
+
+	// Lifecycle: begin/end bracket every public operation so Close can
+	// refuse new work and wait for in-flight work to drain.
+	closeMu  sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
 }
 
 // New returns an engine with the given options.
@@ -61,6 +71,33 @@ func New(opt Options) *Engine {
 	return &Engine{opt: opt, cache: newPlanCache(opt.CacheSize)}
 }
 
+// begin registers one in-flight operation; it fails once Close has run.
+// The closed check and the WaitGroup Add happen under one lock so Close
+// cannot observe an empty WaitGroup while an operation is about to start.
+func (e *Engine) begin() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight.Add(1)
+	return nil
+}
+
+func (e *Engine) end() { e.inflight.Done() }
+
+// Close stops the engine: subsequent Prepare/Certain/CertainBatch calls
+// fail with ErrClosed, and Close blocks until every in-flight call —
+// including all batch workers — has returned. Close is idempotent and
+// safe to call concurrently; every call waits for the drain. The plan
+// cache is left intact so Stats remains meaningful after shutdown.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	e.closed = true
+	e.closeMu.Unlock()
+	e.inflight.Wait()
+}
+
 // Prepare returns the prepared plan for q, consulting the LRU cache
 // first. Queries that are alpha-equivalent (identical up to literal order
 // and variable renaming) share a plan; the Boolean CERTAINTY answer is
@@ -68,6 +105,16 @@ func New(opt Options) *Engine {
 // the variable names of the first query that produced the plan.
 // Preparation errors are not cached.
 func (e *Engine) Prepare(q schema.Query) (*core.Prepared, error) {
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	defer e.end()
+	return e.prepare(q)
+}
+
+// prepare is Prepare without the lifecycle bracket, for internal callers
+// that have already registered with begin.
+func (e *Engine) prepare(q schema.Query) (*core.Prepared, error) {
 	sig := q.Signature()
 	if p, ok := e.cache.get(sig); ok {
 		return p, nil
@@ -86,7 +133,11 @@ func (e *Engine) Prepare(q schema.Query) (*core.Prepared, error) {
 // Certain answers CERTAINTY(q) on d using a cached plan, with the
 // parallel evaluation hot path when Options.ParallelEval is set.
 func (e *Engine) Certain(q schema.Query, d *db.Database) (bool, error) {
-	p, err := e.Prepare(q)
+	if err := e.begin(); err != nil {
+		return false, err
+	}
+	defer e.end()
+	p, err := e.prepare(q)
 	if err != nil {
 		return false, err
 	}
@@ -121,8 +172,15 @@ func (e *Engine) CertainBatch(ctx context.Context, items []Item) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e.stats.batches.Add(1)
 	results := make([]Result, len(items))
+	if err := e.begin(); err != nil {
+		for i := range results {
+			results[i] = Result{Err: err}
+		}
+		return results
+	}
+	defer e.end()
+	e.stats.batches.Add(1)
 	workers := e.opt.Workers
 	if workers > len(items) {
 		workers = len(items)
@@ -178,7 +236,7 @@ func (e *Engine) certainIsolated(it Item) (res Result) {
 			res = Result{Err: fmt.Errorf("engine: item panicked: %v", r)}
 		}
 	}()
-	p, err := e.Prepare(it.Query)
+	p, err := e.prepare(it.Query)
 	if err != nil {
 		return Result{Err: err}
 	}

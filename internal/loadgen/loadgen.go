@@ -1,0 +1,382 @@
+// Package loadgen is a closed-loop load generator for the cqad HTTP API:
+// N clients each issue M requests drawn from a classify/certain/batch
+// mix over a reproducible workload (internal/gen queries and databases),
+// recording throughput, a latency histogram, and every served answer so
+// the run can be validated against core.Certain ground truth afterwards.
+// It is both the engine of cmd/cqaload and the driver of certbench E13.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/gen"
+	"cqa/internal/metrics"
+	"cqa/internal/schema"
+	"cqa/internal/server"
+)
+
+// Workload is the fixed universe a run draws from: queries with their
+// wire text and, per query, databases with their rendered fact text.
+// Everything is deterministic in the seed.
+type Workload struct {
+	Queries []WorkloadQuery
+}
+
+// WorkloadQuery is one query with its candidate databases.
+type WorkloadQuery struct {
+	Query  schema.Query
+	Source string // wire form, parse.Query-compatible
+	DBs    []*db.Database
+	Facts  []string // DBs rendered in the fact syntax, index-aligned
+}
+
+// WorkloadOptions controls workload generation.
+type WorkloadOptions struct {
+	// Queries and DBsPerQuery size the universe; ≤ 0 selects 6 and 4.
+	Queries, DBsPerQuery int
+	// DB controls database shape; the zero value selects
+	// gen.DefaultDBOptions (small enough for naive fallbacks).
+	DB gen.DBOptions
+}
+
+// NewWorkload generates a reproducible workload: random weakly-guarded
+// sjfBCQ¬ queries (a mix of FO and non-FO) and typed databases for each.
+func NewWorkload(seed int64, opt WorkloadOptions) *Workload {
+	if opt.Queries <= 0 {
+		opt.Queries = 6
+	}
+	if opt.DBsPerQuery <= 0 {
+		opt.DBsPerQuery = 4
+	}
+	if opt.DB == (gen.DBOptions{}) {
+		opt.DB = gen.DefaultDBOptions()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for len(w.Queries) < opt.Queries {
+		q := gen.Query(rng, gen.DefaultQueryOptions())
+		wq := WorkloadQuery{Query: q, Source: q.String()}
+		for i := 0; i < opt.DBsPerQuery; i++ {
+			d := gen.Database(rng, q, opt.DB)
+			wq.DBs = append(wq.DBs, d)
+			wq.Facts = append(wq.Facts, d.String())
+		}
+		w.Queries = append(w.Queries, wq)
+	}
+	return w
+}
+
+// Mix weights the request kinds; zero-valued mixes select 1/8/1.
+type Mix struct {
+	Classify, Certain, Batch int
+}
+
+func (m Mix) normalize() Mix {
+	if m.Classify <= 0 && m.Certain <= 0 && m.Batch <= 0 {
+		return Mix{Classify: 1, Certain: 8, Batch: 1}
+	}
+	if m.Classify < 0 {
+		m.Classify = 0
+	}
+	if m.Certain < 0 {
+		m.Certain = 0
+	}
+	if m.Batch < 0 {
+		m.Batch = 0
+	}
+	return m
+}
+
+// Options configures a run.
+type Options struct {
+	// Clients is the number of concurrent closed-loop clients; ≤ 0
+	// selects 4. Requests is per client; ≤ 0 selects 25.
+	Clients, Requests int
+	// Seed drives request sequencing (not the workload).
+	Seed int64
+	// Mix weights the request kinds.
+	Mix Mix
+	// BatchSize is the databases per /v1/batch request; ≤ 0 selects 4
+	// (capped at the query's database count).
+	BatchSize int
+	// Timeout is the per-request client timeout; ≤ 0 selects 30s.
+	Timeout time.Duration
+}
+
+// Call records one request and the served answer, keyed into the
+// workload so Validate can recompute ground truth.
+type Call struct {
+	Kind     string // "classify", "certain", or "batch"
+	QueryIdx int
+	DBIdx    []int  // databases involved, in request order (empty for classify)
+	Status   int    // HTTP status
+	Err      string // transport or non-200 failure
+	Verdict  string
+	Certain  []bool // served answers, index-aligned with DBIdx
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Duration time.Duration
+	Total    int
+	Failures int
+	Kinds    map[string]int
+	Latency  metrics.HistogramSnapshot
+	Calls    []Call
+}
+
+// Throughput returns requests per second over the whole run.
+func (r *Report) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Total) / r.Duration.Seconds()
+}
+
+// String renders the report as a short multi-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests in %v (%.0f req/s), %d failed\n",
+		r.Total, r.Duration.Round(time.Millisecond), r.Throughput(), r.Failures)
+	fmt.Fprintf(&b, "  mix: classify=%d certain=%d batch=%d\n",
+		r.Kinds["classify"], r.Kinds["certain"], r.Kinds["batch"])
+	fmt.Fprintf(&b, "  latency: %s", r.Latency)
+	return b.String()
+}
+
+// Run drives baseURL with opt over w until every client has issued its
+// requests or ctx is cancelled. The returned report is complete even on
+// cancellation (it covers the requests that ran).
+func Run(ctx context.Context, baseURL string, w *Workload, opt Options) (*Report, error) {
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty workload")
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 4
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 25
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 4
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	mix := opt.Mix.normalize()
+	client := &http.Client{
+		Timeout: opt.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Clients * 2,
+			MaxIdleConnsPerHost: opt.Clients * 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	hist := metrics.NewHistogram(nil)
+	perClient := make([][]Call, opt.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(c)*7919))
+			calls := make([]Call, 0, opt.Requests)
+			for i := 0; i < opt.Requests; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				call := oneRequest(ctx, client, baseURL, w, rng, mix, opt.BatchSize, hist)
+				calls = append(calls, call)
+			}
+			perClient[c] = calls
+		}(c)
+	}
+	wg.Wait()
+
+	rep := &Report{
+		Duration: time.Since(start),
+		Kinds:    map[string]int{},
+		Latency:  hist.Snapshot(),
+	}
+	for _, calls := range perClient {
+		for _, call := range calls {
+			rep.Total++
+			rep.Kinds[call.Kind]++
+			if call.Err != "" {
+				rep.Failures++
+			}
+			rep.Calls = append(rep.Calls, call)
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// oneRequest issues a single request of a kind drawn from the mix.
+func oneRequest(ctx context.Context, client *http.Client, baseURL string, w *Workload, rng *rand.Rand, mix Mix, batchSize int, hist *metrics.Histogram) Call {
+	qi := rng.Intn(len(w.Queries))
+	wq := &w.Queries[qi]
+	pick := rng.Intn(mix.Classify + mix.Certain + mix.Batch)
+	var call Call
+	call.QueryIdx = qi
+
+	var path string
+	var body any
+	switch {
+	case pick < mix.Classify:
+		call.Kind = "classify"
+		path = "/v1/classify"
+		body = server.ClassifyRequest{Query: wq.Source}
+	case pick < mix.Classify+mix.Certain:
+		call.Kind = "certain"
+		di := rng.Intn(len(wq.DBs))
+		call.DBIdx = []int{di}
+		path = "/v1/certain"
+		body = server.CertainRequest{Query: wq.Source, Facts: wq.Facts[di]}
+	default:
+		call.Kind = "batch"
+		n := batchSize
+		if n > len(wq.DBs) {
+			n = len(wq.DBs)
+		}
+		facts := make([]string, n)
+		for i := 0; i < n; i++ {
+			di := rng.Intn(len(wq.DBs))
+			call.DBIdx = append(call.DBIdx, di)
+			facts[i] = wq.Facts[di]
+		}
+		path = "/v1/batch"
+		body = server.BatchRequest{Query: wq.Source, Facts: facts}
+	}
+
+	buf, err := json.Marshal(body)
+	if err != nil {
+		call.Err = err.Error()
+		return call
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		call.Err = err.Error()
+		return call
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	hist.Observe(time.Since(t0))
+	if err != nil {
+		call.Err = err.Error()
+		return call
+	}
+	defer resp.Body.Close()
+	call.Status = resp.StatusCode
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		call.Err = err.Error()
+		return call
+	}
+	if resp.StatusCode != http.StatusOK {
+		call.Err = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		return call
+	}
+	switch call.Kind {
+	case "classify":
+		var out server.ClassifyResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			call.Err = err.Error()
+			return call
+		}
+		call.Verdict = out.Verdict
+	case "certain":
+		var out server.CertainResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			call.Err = err.Error()
+			return call
+		}
+		call.Verdict = out.Verdict
+		call.Certain = []bool{out.Certain}
+	case "batch":
+		var out server.BatchResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			call.Err = err.Error()
+			return call
+		}
+		call.Verdict = out.Verdict
+		if len(out.Results) != len(call.DBIdx) {
+			call.Err = fmt.Sprintf("batch returned %d results for %d databases", len(out.Results), len(call.DBIdx))
+			return call
+		}
+		for i, res := range out.Results {
+			if res.Error != "" {
+				call.Err = fmt.Sprintf("batch item %d: %s", i, res.Error)
+				return call
+			}
+			call.Certain = append(call.Certain, res.Certain)
+		}
+	}
+	return call
+}
+
+// Validate cross-checks every successful served answer in the report
+// against ground truth computed independently of the server: verdicts
+// against core.Classify, CERTAINTY answers against core.Certain with
+// EngineAuto (a fresh, uncached classification and evaluation per pair).
+// Ground-truth results are memoized per (query, database) pair, so
+// repeated traffic over the same pair is checked once. Returns the
+// number of answers checked.
+func Validate(rep *Report, w *Workload) (int, error) {
+	type key struct{ qi, di int }
+	truth := make(map[key]bool)
+	verdicts := make(map[int]string)
+	checked := 0
+	for _, call := range rep.Calls {
+		if call.Err != "" {
+			continue
+		}
+		wq := &w.Queries[call.QueryIdx]
+		want, ok := verdicts[call.QueryIdx]
+		if !ok {
+			cls, err := core.Classify(wq.Query)
+			if err != nil {
+				return checked, fmt.Errorf("ground-truth classify of %s: %w", wq.Source, err)
+			}
+			want = string(cls.Verdict)
+			verdicts[call.QueryIdx] = want
+		}
+		if call.Verdict != "" && call.Verdict != want {
+			return checked, fmt.Errorf("query %s: served verdict %q, ground truth %q", wq.Source, call.Verdict, want)
+		}
+		for i, di := range call.DBIdx {
+			if i >= len(call.Certain) {
+				break
+			}
+			k := key{call.QueryIdx, di}
+			wantAns, ok := truth[k]
+			if !ok {
+				var err error
+				wantAns, err = core.Certain(wq.Query, wq.DBs[di], core.EngineAuto)
+				if err != nil {
+					return checked, fmt.Errorf("ground truth for %s on db %d: %w", wq.Source, di, err)
+				}
+				truth[k] = wantAns
+			}
+			if call.Certain[i] != wantAns {
+				return checked, fmt.Errorf("%s request: query %s db %d served %v, ground truth %v",
+					call.Kind, wq.Source, di, call.Certain[i], wantAns)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}

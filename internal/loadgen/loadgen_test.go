@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cqa/internal/server"
+)
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a := NewWorkload(42, WorkloadOptions{Queries: 3, DBsPerQuery: 2})
+	b := NewWorkload(42, WorkloadOptions{Queries: 3, DBsPerQuery: 2})
+	if len(a.Queries) != 3 {
+		t.Fatalf("queries = %d", len(a.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Source != b.Queries[i].Source {
+			t.Errorf("query %d differs across same-seed workloads", i)
+		}
+		if len(a.Queries[i].Facts) != 2 {
+			t.Errorf("query %d has %d databases", i, len(a.Queries[i].Facts))
+		}
+		for j := range a.Queries[i].Facts {
+			if a.Queries[i].Facts[j] != b.Queries[i].Facts[j] {
+				t.Errorf("query %d db %d differs across same-seed workloads", i, j)
+			}
+		}
+	}
+	c := NewWorkload(43, WorkloadOptions{Queries: 3, DBsPerQuery: 2})
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i].Source != c.Queries[i].Source {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestRunAgainstInProcessServer(t *testing.T) {
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	w := NewWorkload(7, WorkloadOptions{Queries: 3, DBsPerQuery: 2})
+	rep, err := Run(context.Background(), ts.URL, w, Options{
+		Clients:  3,
+		Requests: 10,
+		Seed:     99,
+		Mix:      Mix{Classify: 1, Certain: 3, Batch: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 30 {
+		t.Errorf("total = %d, want 30", rep.Total)
+	}
+	if rep.Failures != 0 {
+		for _, c := range rep.Calls {
+			if c.Err != "" {
+				t.Errorf("%s q%d: %s", c.Kind, c.QueryIdx, c.Err)
+			}
+		}
+		t.Fatalf("failures = %d", rep.Failures)
+	}
+	if rep.Kinds["classify"]+rep.Kinds["certain"]+rep.Kinds["batch"] != 30 {
+		t.Errorf("kinds = %v", rep.Kinds)
+	}
+	if rep.Latency.Count != 30 || rep.Throughput() <= 0 {
+		t.Errorf("latency count = %d, throughput = %v", rep.Latency.Count, rep.Throughput())
+	}
+
+	checked, err := Validate(rep, w)
+	if err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	if checked == 0 {
+		t.Error("validation checked no answers")
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := NewWorkload(7, WorkloadOptions{Queries: 2, DBsPerQuery: 2})
+	rep, err := Run(ctx, ts.URL, w, Options{Clients: 2, Requests: 100})
+	if err == nil {
+		t.Error("cancelled run should report the context error")
+	}
+	if rep == nil || rep.Total > 4 {
+		t.Errorf("cancelled run still issued %v requests", rep)
+	}
+}
+
+func TestRunEmptyWorkload(t *testing.T) {
+	if _, err := Run(context.Background(), "http://127.0.0.1:0", &Workload{}, Options{}); err == nil {
+		t.Error("empty workload should fail")
+	}
+}

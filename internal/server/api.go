@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire types of the HTTP/JSON API. See docs/SERVING.md for the contract.
+
+// ClassifyRequest asks for the Theorem 4.3 classification of one query.
+type ClassifyRequest struct {
+	Query string `json:"query"`
+}
+
+// ClassifyResponse reports the classification, and — when CERTAINTY(q)
+// is in FO — the consistent first-order rewriting and its SQL form.
+type ClassifyResponse struct {
+	Query         string      `json:"query"`
+	Verdict       string      `json:"verdict"`
+	Guarded       bool        `json:"guarded"`
+	WeaklyGuarded bool        `json:"weaklyGuarded"`
+	Acyclic       bool        `json:"acyclic"`
+	AttackEdges   [][2]string `json:"attackEdges"`
+	Hardness      string      `json:"hardness,omitempty"`
+	Cycle         []string    `json:"cycle,omitempty"`
+	Rewriting     string      `json:"rewriting,omitempty"`
+	SQL           string      `json:"sql,omitempty"`
+}
+
+// CertainRequest asks CERTAINTY(q) on one database: either inline fact
+// text (the cqa database syntax, one fact per line) or the name of a
+// database preloaded by the daemon. Exactly one of Facts and Database
+// must be set.
+type CertainRequest struct {
+	Query    string `json:"query"`
+	Facts    string `json:"facts,omitempty"`
+	Database string `json:"database,omitempty"`
+}
+
+// CertainResponse is the answer for one database.
+type CertainResponse struct {
+	Certain bool   `json:"certain"`
+	Verdict string `json:"verdict"`
+}
+
+// BatchRequest fans one query across many databases (named, inline, or a
+// mix; named databases run first, in order, then the inline ones).
+type BatchRequest struct {
+	Query     string   `json:"query"`
+	Databases []string `json:"databases,omitempty"`
+	Facts     []string `json:"facts,omitempty"`
+}
+
+// BatchResult is the outcome for one database of a batch.
+type BatchResult struct {
+	Certain bool   `json:"certain"`
+	Error   string `json:"error,omitempty"`
+}
+
+// BatchResponse carries one result per database, in request order.
+type BatchResponse struct {
+	Verdict string        `json:"verdict"`
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorBody is the structured error envelope every non-2xx response
+// carries: {"error": {"status": 400, "code": "bad_json", "message": ...}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail describes one request failure.
+type ErrorDetail struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Engine EngineStats    `json:"engine"`
+	Server map[string]any `json:"server"`
+}
+
+// EngineStats mirrors engine.Stats in JSON form.
+type EngineStats struct {
+	CacheHits       uint64  `json:"cacheHits"`
+	CacheMisses     uint64  `json:"cacheMisses"`
+	CacheEvictions  uint64  `json:"cacheEvictions"`
+	CachedPlans     int     `json:"cachedPlans"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	Batches         uint64  `json:"batches"`
+	BatchItems      uint64  `json:"batchItems"`
+	BatchErrors     uint64  `json:"batchErrors"`
+	CancelledItems  uint64  `json:"cancelledItems"`
+	Workers         int     `json:"workers"`
+	BusyWorkers     int     `json:"busyWorkers"`
+	PeakBusyWorkers int     `json:"peakBusyWorkers"`
+}
+
+// decodeJSON strictly decodes one JSON value from r into v: unknown
+// fields, trailing garbage, and oversized bodies are errors. The caller
+// wraps r in http.MaxBytesReader, so an *http.MaxBytesError surfaces
+// through the returned error for the 413 mapping.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Reject a second JSON value (or any trailing non-space bytes).
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// ParseCertainRequest decodes and shape-checks a /v1/certain body. It is
+// exported (within the package tree) for the fuzz target: it must never
+// panic, whatever the bytes.
+func ParseCertainRequest(body []byte) (CertainRequest, error) {
+	var req CertainRequest
+	if err := decodeJSON(bytes.NewReader(body), &req); err != nil {
+		return CertainRequest{}, err
+	}
+	if req.Query == "" {
+		return CertainRequest{}, fmt.Errorf("missing query")
+	}
+	if (req.Facts == "") == (req.Database == "") {
+		return CertainRequest{}, fmt.Errorf("exactly one of facts and database must be set")
+	}
+	return req, nil
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzServerCertainRequest fuzzes the /v1/certain request decoder: for
+// arbitrary bytes, ParseCertainRequest must never panic, and a request
+// it rejects must map to a 4xx — never a 5xx or a hung handler. Accepted
+// requests are NOT evaluated here (query classification is exponential
+// in the query, which is a cost bound, not a decoder bug).
+func FuzzServerCertainRequest(f *testing.F) {
+	f.Add([]byte(`{"query": "R(x | y)", "facts": "R(a | 1)\nR(a | 2)"}`))
+	f.Add([]byte(`{"query": "R(x | y)", "database": "people"}`))
+	f.Add([]byte(`{"query": "", "facts": ""}`))
+	f.Add([]byte(`{"query": "R(x |", "facts": "zzz"}`))
+	f.Add([]byte(`{"query": 42}`))
+	f.Add([]byte(`{"query": "R(x | y)"}{"trailing": true}`))
+	f.Add([]byte(`{"query": "R(x | y)", "unknown": []}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"query": "R(x | y)", "facts": "R(a | 1)", "database": "both"}`))
+
+	s := New(Options{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := ParseCertainRequest(body)
+		if err != nil {
+			// The server must turn decode failures into structured 4xx
+			// responses, whatever the bytes were.
+			r := httptest.NewRequest("POST", "/v1/certain", strings.NewReader(string(body)))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, r)
+			if w.Code < 400 || w.Code >= 500 {
+				t.Fatalf("undecodable body gave status %d, want 4xx\nbody: %q", w.Code, body)
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error response Content-Type = %q", ct)
+			}
+			if !strings.Contains(w.Body.String(), `"error"`) {
+				t.Fatalf("error response lacks structured body: %s", w.Body.String())
+			}
+			return
+		}
+		// Decoded requests satisfy the shape invariants.
+		if req.Query == "" {
+			t.Fatalf("accepted request with empty query: %q", body)
+		}
+		if (req.Facts == "") == (req.Database == "") {
+			t.Fatalf("accepted request with bad facts/database shape: %q", body)
+		}
+	})
+}

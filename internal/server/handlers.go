@@ -1,0 +1,323 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/parse"
+	"cqa/internal/sqlgen"
+)
+
+// writeJSON writes v with the given status. Encoding failures at this
+// point cannot be reported to the client; they surface in errors_total.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.reg.Counter("errors_total").Inc()
+	}
+}
+
+// writeError writes the structured error envelope and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.reg.Counter("errors_total").Inc()
+	if status >= 500 || status == http.StatusTooManyRequests {
+		// Shedding and failures must not be cached by intermediaries.
+		w.Header().Set("Cache-Control", "no-store")
+	}
+	s.writeJSON(w, status, ErrorBody{Error: ErrorDetail{Status: status, Code: code, Message: msg}})
+}
+
+// writeDecodeError maps a request-decoding failure to 413 (body over
+// MaxBodyBytes) or 400 (everything else) with a structured body.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+}
+
+// handleClassify answers POST /v1/classify.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if req.Query == "" {
+		s.writeError(w, http.StatusBadRequest, "missing_query", "request lacks a query")
+		return
+	}
+	q, err := parse.Query(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
+		return
+	}
+	v, err := s.bounded(r.Context(), func() (any, error) {
+		p, err := s.eng.Prepare(q)
+		if err != nil {
+			return nil, err
+		}
+		cls := p.Classification()
+		resp := ClassifyResponse{
+			Query:         cls.Query.String(),
+			Verdict:       string(cls.Verdict),
+			Guarded:       cls.Guarded,
+			WeaklyGuarded: cls.WeaklyGuarded,
+			Acyclic:       cls.Acyclic,
+			AttackEdges:   cls.Graph.Edges(),
+			Hardness:      cls.Hardness,
+		}
+		if resp.AttackEdges == nil {
+			resp.AttackEdges = [][2]string{}
+		}
+		if cls.CycleF != "" {
+			resp.Cycle = []string{cls.CycleF, cls.CycleG}
+		}
+		if cls.Verdict == core.VerdictFO {
+			resp.Rewriting = cls.Rewriting.String()
+			sql, err := sqlgen.Translate(cls.Rewriting, sqlgen.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("sql translation: %w", err)
+			}
+			resp.SQL = sql
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeWorkError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, v)
+}
+
+// handleCertain answers POST /v1/certain.
+func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	req, err := ParseCertainRequest(body)
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	q, err := parse.Query(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
+		return
+	}
+	var d *db.Database
+	if req.Database != "" {
+		d = s.dbs[req.Database]
+		if d == nil {
+			s.writeError(w, http.StatusNotFound, "unknown_database",
+				fmt.Sprintf("no preloaded database named %q", req.Database))
+			return
+		}
+	} else {
+		d, err = parse.Database(req.Facts)
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			return
+		}
+		if err := parse.DeclareQueryRelations(d, q); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			return
+		}
+	}
+	v, err := s.bounded(r.Context(), func() (any, error) {
+		p, err := s.eng.Prepare(q)
+		if err != nil {
+			return nil, err
+		}
+		return CertainResponse{
+			Certain: p.Certain(d),
+			Verdict: string(p.Classification().Verdict),
+		}, nil
+	})
+	if err != nil {
+		s.writeWorkError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, v)
+}
+
+// handleBatch answers POST /v1/batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if req.Query == "" {
+		s.writeError(w, http.StatusBadRequest, "missing_query", "request lacks a query")
+		return
+	}
+	n := len(req.Databases) + len(req.Facts)
+	if n == 0 {
+		s.writeError(w, http.StatusBadRequest, "missing_databases",
+			"request needs at least one database name or inline facts entry")
+		return
+	}
+	if n > s.opt.MaxBatchItems {
+		s.writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("batch of %d databases exceeds the limit of %d", n, s.opt.MaxBatchItems))
+		return
+	}
+	q, err := parse.Query(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
+		return
+	}
+	items := make([]engine.Item, 0, n)
+	resolveErrs := make([]string, 0, n)
+	for _, name := range req.Databases {
+		d := s.dbs[name]
+		if d == nil {
+			resolveErrs = append(resolveErrs, fmt.Sprintf("no preloaded database named %q", name))
+			items = append(items, engine.Item{})
+			continue
+		}
+		resolveErrs = append(resolveErrs, "")
+		items = append(items, engine.Item{Query: q, DB: d})
+	}
+	for _, facts := range req.Facts {
+		d, err := parse.Database(facts)
+		if err == nil {
+			err = parse.DeclareQueryRelations(d, q)
+		}
+		if err != nil {
+			resolveErrs = append(resolveErrs, err.Error())
+			items = append(items, engine.Item{})
+			continue
+		}
+		resolveErrs = append(resolveErrs, "")
+		items = append(items, engine.Item{Query: q, DB: d})
+	}
+	// Resolvable items run as one engine batch; unresolvable ones carry
+	// their error through in order. Plugging the real query into the
+	// placeholder items would re-answer on a nil database, so the batch
+	// only receives the good ones.
+	good := make([]engine.Item, 0, n)
+	for i, it := range items {
+		if resolveErrs[i] == "" {
+			good = append(good, it)
+		}
+	}
+	s.reg.Counter("batch_items_total").Add(uint64(len(good)))
+	results := s.eng.CertainBatch(r.Context(), good)
+	resp := BatchResponse{Results: make([]BatchResult, n)}
+	gi := 0
+	for i := range items {
+		if resolveErrs[i] != "" {
+			resp.Results[i] = BatchResult{Error: resolveErrs[i]}
+			continue
+		}
+		res := results[gi]
+		gi++
+		if res.Err != nil {
+			resp.Results[i] = BatchResult{Error: res.Err.Error()}
+		} else {
+			resp.Results[i] = BatchResult{Certain: res.Certain}
+		}
+	}
+	if p, err := s.eng.Prepare(q); err == nil {
+		resp.Verdict = string(p.Classification().Verdict)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeWorkError maps evaluation-stage failures: context expiry becomes
+// the timeout response, engine shutdown 503, anything else 422.
+func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.reg.Counter("timeouts_total").Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "timeout",
+			fmt.Sprintf("request exceeded the per-request timeout (%s)", s.opt.RequestTimeout))
+	case errors.Is(err, engine.ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "shutting_down", "server is draining")
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, "classify_failed", err.Error())
+	}
+}
+
+// handleStats answers GET /v1/stats with engine and server counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	resp := StatsResponse{
+		Engine: EngineStats{
+			CacheHits:       st.CacheHits,
+			CacheMisses:     st.CacheMisses,
+			CacheEvictions:  st.CacheEvictions,
+			CachedPlans:     st.CachedPlans,
+			Batches:         st.Batches,
+			BatchItems:      st.BatchItems,
+			BatchErrors:     st.BatchErrors,
+			CancelledItems:  st.CancelledItems,
+			Workers:         st.Workers,
+			BusyWorkers:     st.BusyWorkers,
+			PeakBusyWorkers: st.PeakBusyWorkers,
+		},
+		Server: s.reg.Values(),
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		resp.Engine.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 503 once draining has begun.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics answers GET /metrics with a one-line plain-text summary
+// of the registry plus the engine stats line.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s | engine: %s\n", s.reg.Summary(), s.eng.Stats())
+}
+
+// handleDebugVars serves the expvar JSON document: every expvar-published
+// variable (cmdline, memstats, anything the process registered) plus this
+// server's registry under the key "cqad". Serving our own document —
+// rather than expvar.Publish'ing the registry — keeps multiple servers in
+// one process (tests, embedded use) from fighting over the global name.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	fmt.Fprintf(w, "%q: %s", "cqad", s.reg.String())
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "cqad" {
+			return // a globally published registry must not duplicate ours
+		}
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -1,0 +1,213 @@
+// Package server exposes the certainty engine (internal/engine) as an
+// HTTP/JSON service: classification, single-database CERTAINTY checks,
+// and batch fan-out, with admission control, per-request timeouts,
+// request-size limits, panic isolation, and operational endpoints
+// (/healthz, /readyz, /metrics, /debug/vars, optional pprof). Stdlib
+// only; see docs/SERVING.md for the API contract.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/metrics"
+)
+
+// Options configures a Server. The zero value of every field selects a
+// sensible default; Engine is the only field commonly set.
+type Options struct {
+	// Engine answers the requests; nil creates a default engine.New.
+	Engine *engine.Engine
+	// Databases are the preloaded databases addressable by name in
+	// /v1/certain and /v1/batch. The map and its databases must not be
+	// mutated after New.
+	Databases map[string]*db.Database
+	// MaxInFlight bounds concurrently admitted API requests; excess
+	// requests are shed with 429 + Retry-After. ≤ 0 selects 64.
+	MaxInFlight int
+	// RequestTimeout bounds each API request's work; ≤ 0 selects 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; over-limit requests get 413.
+	// ≤ 0 selects 1 MiB.
+	MaxBodyBytes int64
+	// MaxBatchItems bounds the databases of one /v1/batch request;
+	// ≤ 0 selects 1024.
+	MaxBatchItems int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Metrics receives request counters and latencies; nil creates a
+	// fresh registry (exposed via Registry).
+	Metrics *metrics.Registry
+}
+
+// Server is the HTTP front end. Create with New, serve via Handler, and
+// flip readiness with Drain during shutdown. Safe for concurrent use.
+type Server struct {
+	opt      Options
+	eng      *engine.Engine
+	dbs      map[string]*db.Database
+	reg      *metrics.Registry
+	sem      chan struct{}
+	draining atomic.Bool
+	handler  http.Handler
+}
+
+// New builds a server over the given options.
+func New(opt Options) *Server {
+	if opt.Engine == nil {
+		opt.Engine = engine.New(engine.Options{})
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 64
+	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 10 * time.Second
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 1 << 20
+	}
+	if opt.MaxBatchItems <= 0 {
+		opt.MaxBatchItems = 1024
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = metrics.NewRegistry()
+	}
+	s := &Server{
+		opt: opt,
+		eng: opt.Engine,
+		dbs: opt.Databases,
+		reg: opt.Metrics,
+		sem: make(chan struct{}, opt.MaxInFlight),
+	}
+	// Pre-register the counters so /metrics shows zeros before traffic,
+	// and surface the engine cache hit rate as a computed value.
+	for _, n := range []string{
+		"requests_total", "classify_total", "certain_total", "batch_total",
+		"batch_items_total", "rejected_total", "timeouts_total",
+		"errors_total", "panics_total",
+	} {
+		s.reg.Counter(n)
+	}
+	s.reg.Gauge("requests_inflight")
+	s.reg.Histogram("request_latency")
+	s.reg.SetFunc("engine_cache_hit_rate", func() any {
+		st := s.eng.Stats()
+		total := st.CacheHits + st.CacheMisses
+		if total == 0 {
+			return 0.0
+		}
+		return float64(st.CacheHits) / float64(total)
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/classify", s.api("classify_total", s.handleClassify))
+	mux.Handle("POST /v1/certain", s.api("certain_total", s.handleCertain))
+	mux.Handle("POST /v1/batch", s.api("batch_total", s.handleBatch))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	if opt.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.recoverPanics(mux)
+	return s
+}
+
+// Handler returns the fully middleware-wrapped handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Engine exposes the serving engine (for stats and shutdown).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Drain marks the server not-ready: /readyz starts answering 503 so load
+// balancers stop routing here, while in-flight and straggler requests
+// keep being served. Call before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// api wraps an API handler with admission control, the body-size limit,
+// the per-request timeout, and request metrics. counterName is the
+// per-endpoint counter to bump.
+func (s *Server) api(counterName string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("requests_total").Inc()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.reg.Counter("rejected_total").Inc()
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("server at max in-flight requests (%d)", s.opt.MaxInFlight))
+			return
+		}
+		s.reg.Counter(counterName).Inc()
+		s.reg.Gauge("requests_inflight").Add(1)
+		defer s.reg.Gauge("requests_inflight").Add(-1)
+		start := time.Now()
+		defer func() { s.reg.Histogram("request_latency").Observe(time.Since(start)) }()
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// recoverPanics is the outermost middleware: a panicking handler becomes
+// a 500 with a structured body instead of a dead connection.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.reg.Counter("panics_total").Inc()
+				s.writeError(w, http.StatusInternalServerError, "internal_panic",
+					fmt.Sprintf("handler panicked: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bounded runs fn under the request context: when the context expires
+// first, the work keeps running in its goroutine (evaluation is not
+// interruptible mid-formula) but the request gets a timeout error.
+// Panics inside fn — which runs outside the middleware goroutine —
+// become errors here.
+func (s *Server) bounded(ctx context.Context, fn func() (any, error)) (any, error) {
+	done := make(chan struct{})
+	var v any
+	var err error
+	go func() {
+		defer close(done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("evaluation panicked: %v", rec)
+			}
+		}()
+		v, err = fn()
+	}()
+	select {
+	case <-done:
+		return v, err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

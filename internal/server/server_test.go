@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/parse"
+)
+
+// newTestServer builds a server with a small preloaded database named
+// "people" and returns it with its httptest wrapper.
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Databases == nil {
+		opt.Databases = map[string]*db.Database{
+			"people": parse.MustDatabase("R(a | 1)\nR(a | 2)\n"),
+		}
+	}
+	s := New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Query: "P(x | y), !N('c' | y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[ClassifyResponse](t, resp)
+	if out.Verdict != "FO" || out.Rewriting == "" || !strings.Contains(out.SQL, "SELECT") {
+		t.Errorf("FO classify response wrong: %+v", out)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Query: "R(x | y), !S(y | x)"})
+	out = decodeBody[ClassifyResponse](t, resp)
+	if out.Verdict != "not-FO" || out.Hardness != "NL-hard" || len(out.Cycle) != 2 {
+		t.Errorf("non-FO classify response wrong: %+v", out)
+	}
+	if out.SQL != "" || out.Rewriting != "" {
+		t.Errorf("non-FO response should not carry a rewriting: %+v", out)
+	}
+}
+
+func TestCertainEndpointInlineFacts(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		query, facts string
+		want         bool
+	}{
+		{"R(x | y)", "R(a | 1)\nR(a | 2)\n", true},
+		{"R(x | '1')", "R(a | 1)\nR(a | 2)\n", false},
+		{"P(x | y), !N('c' | y)", "P(p1 | v1)\nP(p1 | v2)\nN(c | v2)\n", false},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: tc.query, Facts: tc.facts})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", tc.query, resp.StatusCode)
+		}
+		out := decodeBody[CertainResponse](t, resp)
+		if out.Certain != tc.want {
+			t.Errorf("%s: certain = %v, want %v", tc.query, out.Certain, tc.want)
+		}
+		if out.Verdict != "FO" {
+			t.Errorf("%s: verdict = %q", tc.query, out.Verdict)
+		}
+	}
+}
+
+func TestCertainEndpointNamedDatabase(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "R(x | y)", Database: "people"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out := decodeBody[CertainResponse](t, resp); !out.Certain {
+		t.Errorf("named-db certain = false, want true")
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Query:     "R(x | y)",
+		Databases: []string{"people", "missing"},
+		Facts:     []string{"R(b | 7)\n", ""},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decodeBody[BatchResponse](t, resp)
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(out.Results))
+	}
+	if !out.Results[0].Certain || out.Results[0].Error != "" {
+		t.Errorf("people: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Errorf("missing database should carry an error: %+v", out.Results[1])
+	}
+	if !out.Results[2].Certain {
+		t.Errorf("inline facts: %+v", out.Results[2])
+	}
+	if out.Results[3].Certain {
+		t.Errorf("empty facts has no R fact, want not certain: %+v", out.Results[3])
+	}
+	if out.Verdict != "FO" {
+		t.Errorf("verdict = %q", out.Verdict)
+	}
+}
+
+func TestStatsAndOpsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// Drive a little traffic so the counters move.
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "R(x | y)", Database: "people"})
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody[StatsResponse](t, resp)
+	if stats.Engine.CacheHits != 2 || stats.Engine.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1", stats.Engine.CacheHits, stats.Engine.CacheMisses)
+	}
+	if got := stats.Engine.CacheHitRate; got < 0.66 || got > 0.67 {
+		t.Errorf("cache hit rate = %v, want ~2/3", got)
+	}
+	if stats.Server["certain_total"] != float64(3) {
+		t.Errorf("certain_total = %v, want 3", stats.Server["certain_total"])
+	}
+
+	for path, want := range map[string]string{
+		"/healthz": "ok",
+		"/readyz":  "ready",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || strings.TrimSpace(buf.String()) != want {
+			t.Errorf("%s: %d %q", path, resp.StatusCode, buf.String())
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	line := buf.String()
+	for _, frag := range []string{"requests_total=3", "certain_total=3", "request_latency{count=3", "engine_cache_hit_rate=0.66", "engine: cache: 2 hits"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("/metrics lacks %q:\n%s", frag, line)
+		}
+	}
+	if n := strings.Count(strings.TrimSpace(line), "\n"); n != 0 {
+		t.Errorf("/metrics should be one line, got %d newlines", n)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeBody[map[string]any](t, resp)
+	cqad, ok := vars["cqad"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars lacks cqad: %v", vars)
+	}
+	if cqad["certain_total"] != float64(3) {
+		t.Errorf("expvar certain_total = %v", cqad["certain_total"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars lacks the standard expvar memstats")
+	}
+	lat, ok := cqad["request_latency"].(map[string]any)
+	if !ok || lat["count"] != float64(3) || lat["p99_ns"] == float64(0) {
+		t.Errorf("expvar latency histogram wrong: %v", cqad["request_latency"])
+	}
+}
+
+func TestMethodAndRouteErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/certain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/certain = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerAfterEngineClose(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	_, ts := newTestServer(t, Options{Engine: eng})
+	eng.Close()
+	resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "R(x | y)", Database: "people"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status after engine close = %d, want 503", resp.StatusCode)
+	}
+	out := decodeBody[ErrorBody](t, resp)
+	if out.Error.Code != "shutting_down" {
+		t.Errorf("code = %q", out.Error.Code)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	_, off := newTestServer(t, Options{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", resp.StatusCode)
+	}
+	_, on := newTestServer(t, Options{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func ExampleServer() {
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := http.Post(ts.URL+"/v1/certain", "application/json",
+		strings.NewReader(`{"query": "R(x | y)", "facts": "R(a | 1)\nR(a | 2)"}`))
+	var out CertainResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	fmt.Println(out.Certain, out.Verdict)
+	// Output: true FO
+}
