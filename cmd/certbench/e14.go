@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"cqa/internal/engine"
+	"cqa/internal/loadgen"
+	"cqa/internal/server"
+	"cqa/internal/store"
+)
+
+// runE14 exercises the versioned mutable store through the daemon: an
+// in-process server backed by a durable store.Set takes a mixed
+// read/write workload (one writer, concurrent readers), every served
+// answer is cross-checked against core.Certain on the contemporaneous
+// snapshot, and the incremental result-cache invalidation is then
+// demonstrated deterministically: a write to an unmentioned relation
+// keeps a cached answer, a write to a mentioned one recomputes it.
+func runE14(quick bool) error {
+	writes, readers := 60, 6
+	if quick {
+		writes, readers = 25, 3
+	}
+
+	dir, err := os.MkdirTemp("", "certbench-e14-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	set, err := store.OpenSet(store.Options{Dir: dir})
+	if err != nil {
+		return err
+	}
+	defer set.CloseAll()
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	srv := server.New(server.Options{Engine: eng, Stores: set})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Phase 1: mixed read/write workload with contemporaneous-snapshot
+	// validation. Every read carries the store version it was answered
+	// at; ground truth is recomputed on the client-side shadow of exactly
+	// that version.
+	rep, err := loadgen.RunMutable(context.Background(), ts.URL, loadgen.MutableOptions{
+		Database: "e14",
+		Writes:   writes,
+		Readers:  readers,
+		Seed:     14,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Failures > 0 {
+		for _, c := range rep.Calls {
+			if c.Err != "" {
+				return fmt.Errorf("read failed: q%d: %s", c.QueryIdx, c.Err)
+			}
+		}
+	}
+	checked, err := loadgen.ValidateMutable(rep)
+	if err != nil {
+		return fmt.Errorf("served answers disagree with core.Certain on contemporaneous snapshots: %w", err)
+	}
+	fmt.Printf("daemon under mixed read/write load (1 writer × %d batches, %d readers, durable store):\n", writes, readers)
+	fmt.Printf("  %s\n", strings.ReplaceAll(rep.String(), "\n", "\n  "))
+	fmt.Printf("  self-validation: %d served answers agree with core.Certain on the version each was served at (%d distinct versions)\n",
+		checked, len(rep.Shadows))
+	// q2 mentions only the unwritten relation T, so writes never evict its
+	// entry; misses beyond the first happen only when an evaluation
+	// straddles a version bump and its (now stale) put is discarded.
+	// Require a clear majority of hits — the exact hit/miss sequence is
+	// forced deterministically in phase 2 below.
+	if q2 := rep.PerQuery[2]; q2.Reads >= 10 && q2.Cached*2 < q2.Reads {
+		return fmt.Errorf("q2 mentions only the unwritten relation T but had %d misses in %d reads — incremental invalidation is not holding",
+			q2.Reads-q2.Cached, q2.Reads)
+	}
+
+	// Phase 2: deterministic invalidation demonstration on a quiet
+	// database (no concurrent traffic, so every hit/miss is forced).
+	steps := []struct {
+		do   string // "read" or a write path
+		body any
+		want string // for reads: "miss" or "hit"
+	}{
+		{"read", nil, "miss"}, // first evaluation
+		{"read", nil, "hit"},  // same version
+		{"/v1/db/insert", server.DBWriteRequest{Database: "quiet", Facts: "T(x9 | y9)"}, ""},
+		{"read", nil, "hit"}, // T is not mentioned by the query
+		{"/v1/db/insert", server.DBWriteRequest{Database: "quiet", Facts: "R(k9 | v9)"}, ""},
+		{"read", nil, "miss"}, // R is mentioned: invalidated + recomputed
+		{"read", nil, "hit"},
+	}
+	if err := postOK(ts.URL+"/v1/db/create", server.DBCreateRequest{
+		Name:  "quiet",
+		Facts: "R(k0 | v0)\nS(k0 | v1)\nT(t0 | u0)\n",
+	}); err != nil {
+		return err
+	}
+	const query = "R(x | y), !S(y | x)"
+	for i, step := range steps {
+		if step.do != "read" {
+			if err := postOK(ts.URL+step.do, step.body); err != nil {
+				return fmt.Errorf("step %d: %w", i, err)
+			}
+			continue
+		}
+		resp, err := http.Post(ts.URL+"/v1/certain", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"query": %q, "database": "quiet"}`, query)))
+		if err != nil {
+			return err
+		}
+		var out server.CertainResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if out.Cached == nil {
+			return fmt.Errorf("step %d: named-db response lacks cached field", i)
+		}
+		got := "miss"
+		if *out.Cached {
+			got = "hit"
+		}
+		if got != step.want {
+			return fmt.Errorf("step %d: result cache %s, want %s (version %d)", i, got, step.want, out.Version)
+		}
+	}
+	fmt.Println("  incremental invalidation: re-read=hit, write T(unmentioned)=hit, write R(mentioned)=miss then hit — only relevant writes invalidate")
+
+	// The ops surfaces must reflect the store activity.
+	stats, _, metricsLine, err := scrapeOps(ts.URL)
+	if err != nil {
+		return err
+	}
+	if stats.UptimeSeconds <= 0 {
+		return fmt.Errorf("/v1/stats uptimeSeconds = %v", stats.UptimeSeconds)
+	}
+	if stats.Engine.ResultHits == 0 || stats.Engine.ResultInvalidations == 0 {
+		return fmt.Errorf("/v1/stats shows no result-cache activity: %+v", stats.Engine)
+	}
+	if wal := stats.Server["wal_records"].(float64); wal <= 0 {
+		return fmt.Errorf("/v1/stats wal_records = %v", wal)
+	}
+	for _, frag := range []string{"wal_records=", "snapshot_version=", "result_cache_hits=", "result_cache_invalidations="} {
+		if !strings.Contains(metricsLine, frag) {
+			return fmt.Errorf("/metrics lacks %q: %s", frag, metricsLine)
+		}
+	}
+	var info server.DBInfoResponse
+	resp, err := http.Get(ts.URL + "/v1/db/info")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if len(info.Databases) != 2 {
+		return fmt.Errorf("/v1/db/info lists %d databases, want 2", len(info.Databases))
+	}
+	for _, d := range info.Databases {
+		if !d.Durable || d.WALRecords == 0 {
+			return fmt.Errorf("/v1/db/info: %s should be durable with WAL records: %+v", d.Name, d)
+		}
+	}
+	fmt.Printf("  ops surfaces: uptime=%.1fs result_cache=%d hits/%d misses/%d invalidations, wal_records=%v, %d durable databases\n",
+		stats.UptimeSeconds, stats.Engine.ResultHits, stats.Engine.ResultMisses,
+		stats.Engine.ResultInvalidations, stats.Server["wal_records"], len(info.Databases))
+	return nil
+}
+
+// postOK posts body as JSON and requires a 200.
+func postOK(url string, body any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b := make([]byte, 512)
+		n, _ := resp.Body.Read(b)
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, b[:n])
+	}
+	return nil
+}

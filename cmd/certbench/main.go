@@ -1,4 +1,4 @@
-// Command certbench runs the full experiment suite E1–E13 described in
+// Command certbench runs the full experiment suite E1–E14 described in
 // DESIGN.md and prints the tables recorded in EXPERIMENTS.md. Every
 // experiment is deterministic (fixed seeds) and validates itself: a
 // failed cross-check aborts with a non-zero exit code.
@@ -34,6 +34,7 @@ var experiments = []struct {
 	{"E11", "P vs FO: matching-based PTIME deciders for q1 and q_Hall", runE11},
 	{"E12", "serving engine: plan cache, parallel evaluation, batch worker pool", runE12},
 	{"E13", "serving daemon: in-process HTTP server under load, self-validated answers, ops surfaces", runE13},
+	{"E14", "mutable store: daemon under read/write load, contemporaneous-snapshot validation, incremental invalidation", runE14},
 }
 
 func main() {

@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	cqad [-addr :8080] [-dbdir dir] [-cache-size 256] [-workers 0]
-//	     [-max-inflight 64] [-timeout 10s] [-max-body 1048576]
-//	     [-parallel-eval] [-pprof] [-addr-file path]
+//	cqad [-addr :8080] [-dbdir dir] [-data dir] [-cache-size 256]
+//	     [-workers 0] [-max-inflight 64] [-timeout 10s] [-max-body 1048576]
+//	     [-checkpoint-every 1024] [-fsync] [-parallel-eval] [-pprof]
+//	     [-addr-file path]
 //
 // The database directory is scanned non-recursively for *.db files in
 // the cqa fact syntax (one fact per line); each becomes a preloaded
 // database addressable by its base name, e.g. people.db → "people".
 //
-// Endpoints: POST /v1/classify, /v1/certain, /v1/batch; GET /v1/stats,
-// /healthz, /readyz, /metrics, /debug/vars (+ /debug/pprof with -pprof).
+// With -data, named databases are durable: every write is WAL-logged
+// under the data directory, periodically checkpointed, and recovered on
+// restart (internal/store; see docs/STORE.md). Databases preloaded from
+// -dbdir are seeded into the data directory on first boot; after that
+// the recovered store wins. Without -data, named databases are
+// memory-only versioned stores.
+//
+// Endpoints: POST /v1/classify, /v1/certain, /v1/batch,
+// /v1/db/{create,insert,delete}; GET /v1/db/info, /v1/stats, /healthz,
+// /readyz, /metrics, /debug/vars (+ /debug/pprof with -pprof).
 // See docs/SERVING.md.
 //
 // On SIGINT/SIGTERM the daemon flips /readyz to 503, drains in-flight
@@ -39,6 +48,7 @@ import (
 	"cqa/internal/engine"
 	"cqa/internal/parse"
 	"cqa/internal/server"
+	"cqa/internal/store"
 )
 
 func main() {
@@ -60,6 +70,9 @@ type config struct {
 	addr         string
 	addrFile     string
 	dbDir        string
+	dataDir      string
+	checkpoint   int
+	fsync        bool
 	cacheSize    int
 	workers      int
 	maxInFlight  int
@@ -77,6 +90,9 @@ func parseFlags(args []string, errw *os.File) (config, error) {
 	fs.StringVar(&c.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	fs.StringVar(&c.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts)")
 	fs.StringVar(&c.dbDir, "dbdir", "", "directory of *.db files preloaded as named databases")
+	fs.StringVar(&c.dataDir, "data", "", "data directory for durable named databases (WAL + snapshots); empty = memory-only")
+	fs.IntVar(&c.checkpoint, "checkpoint-every", 0, "WAL records between snapshot checkpoints (0 = store default)")
+	fs.BoolVar(&c.fsync, "fsync", false, "fsync the WAL on every write batch (durability over throughput)")
 	fs.IntVar(&c.cacheSize, "cache-size", 0, "plan cache capacity (0 = engine default)")
 	fs.IntVar(&c.workers, "workers", 0, "batch/parallel worker count (0 = GOMAXPROCS)")
 	fs.IntVar(&c.maxInFlight, "max-inflight", 0, "max concurrently admitted API requests before shedding with 429 (0 = 64)")
@@ -108,6 +124,39 @@ func run(cfg config) error {
 		log.Printf("cqad: preloaded %d database(s) from %s: %s", len(dbs), cfg.dbDir, strings.Join(names, ", "))
 	}
 
+	var stores *store.Set
+	if cfg.dataDir != "" {
+		stores, err = store.OpenSet(store.Options{
+			Dir:             cfg.dataDir,
+			CheckpointEvery: cfg.checkpoint,
+			Sync:            cfg.fsync,
+		})
+		if err != nil {
+			return err
+		}
+		defer stores.CloseAll()
+		if n := len(stores.Names()); n > 0 {
+			log.Printf("cqad: recovered %d durable database(s) from %s: %s",
+				n, cfg.dataDir, strings.Join(stores.Names(), ", "))
+		}
+		// First boot: seed durable stores from the preloaded databases.
+		// On later boots the recovered store wins and the .db file is
+		// only the original seed.
+		for name, d := range dbs {
+			if stores.Get(name) != nil {
+				continue
+			}
+			st, err := stores.Create(name)
+			if err != nil {
+				return fmt.Errorf("seeding %s: %w", name, err)
+			}
+			if _, err := st.ApplyDB(d); err != nil {
+				return fmt.Errorf("seeding %s: %w", name, err)
+			}
+		}
+		dbs = nil // everything is in the set now
+	}
+
 	eng := engine.New(engine.Options{
 		CacheSize:    cfg.cacheSize,
 		Workers:      cfg.workers,
@@ -116,6 +165,7 @@ func run(cfg config) error {
 	srv := server.New(server.Options{
 		Engine:         eng,
 		Databases:      dbs,
+		Stores:         stores,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		MaxBodyBytes:   cfg.maxBody,
@@ -156,6 +206,11 @@ func run(cfg config) error {
 		log.Printf("cqad: drain incomplete: %v", err)
 	}
 	eng.Close()
+	if stores != nil {
+		if err := stores.CloseAll(); err != nil {
+			log.Printf("cqad: closing stores: %v", err)
+		}
+	}
 	log.Printf("cqad: shutdown complete; final stats: %s", eng.Stats())
 	return nil
 }

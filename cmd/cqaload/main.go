@@ -9,11 +9,21 @@
 //	cqaload -url http://localhost:8080 [-clients 4] [-requests 25]
 //	        [-seed 1] [-queries 6] [-dbs 4] [-batch 4]
 //	        [-mix classify=1,certain=8,batch=1] [-validate]
+//	cqaload -url ... -mutate [-writes 40] [-readers 4] [-db mutable]
+//	        [-seed 1] [-validate]
 //
-// The workload is generated locally and shipped inline in each request
-// (the /v1/certain and /v1/batch facts field), so cqaload needs no
-// preloaded databases on the server. Exit status: 0 on a clean run,
-// 1 when any request failed or validation found a disagreement.
+// The default workload is generated locally and shipped inline in each
+// request (the /v1/certain and /v1/batch facts field), so cqaload needs
+// no preloaded databases on the server.
+//
+// With -mutate, cqaload instead creates one named database on the server
+// and drives it with a single writer (insert/delete batches) and
+// -readers concurrent readers on named-database /v1/certain; with
+// -validate every served answer is cross-checked against core.Certain on
+// the contemporaneous snapshot (the version each response names).
+//
+// Exit status: 0 on a clean run, 1 when any request failed or validation
+// found a disagreement.
 package main
 
 import (
@@ -39,6 +49,10 @@ func main() {
 	batch := flag.Int("batch", 4, "databases per /v1/batch request")
 	mixFlag := flag.String("mix", "classify=1,certain=8,batch=1", "request mix weights")
 	validate := flag.Bool("validate", false, "cross-check every served answer against core.Certain")
+	mutate := flag.Bool("mutate", false, "drive a mutable named database (writer + readers) instead of the inline mix")
+	writes := flag.Int("writes", 40, "write batches issued by the single writer (with -mutate)")
+	readers := flag.Int("readers", 4, "concurrent readers (with -mutate)")
+	dbName := flag.String("db", "mutable", "server database name to create and drive (with -mutate)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixFlag)
@@ -49,6 +63,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *mutate {
+		runMutable(ctx, *url, *dbName, *writes, *readers, *seed, *validate)
+		return
+	}
 
 	w := loadgen.NewWorkload(*seed, loadgen.WorkloadOptions{Queries: *queries, DBsPerQuery: *dbs})
 	fmt.Printf("workload: %d queries × %d databases (seed %d); driving %s\n",
@@ -107,4 +126,34 @@ func parseMix(s string) (loadgen.Mix, error) {
 		}
 	}
 	return m, nil
+}
+
+// runMutable is the -mutate mode: read/write mix over one named store.
+func runMutable(ctx context.Context, url, dbName string, writes, readers int, seed int64, validate bool) {
+	fmt.Printf("mutable workload: database %q, %d writes, %d readers (seed %d); driving %s\n",
+		dbName, writes, readers, seed, url)
+	rep, err := loadgen.RunMutable(ctx, url, loadgen.MutableOptions{
+		Database: dbName,
+		Writes:   writes,
+		Readers:  readers,
+		Seed:     seed,
+	})
+	if rep != nil {
+		fmt.Println(rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqaload:", err)
+		os.Exit(1)
+	}
+	if validate {
+		checked, err := loadgen.ValidateMutable(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqaload: VALIDATION FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("validated %d served answer(s) against core.Certain on contemporaneous snapshots: all agree\n", checked)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
 }

@@ -54,16 +54,22 @@ type Relation struct {
 
 	facts  map[string]Fact   // full-tuple key -> fact
 	blocks map[string][]Fact // key-tuple key -> block, insertion order
-	// blockKeys preserves deterministic iteration order over blocks.
+	// blockKeys is kept sorted so block iteration order is a function of
+	// the stored content alone — two databases holding the same facts
+	// iterate identically regardless of insert/remove history. The store
+	// layer depends on this: a database recovered from a checkpoint plus
+	// WAL replay must behave exactly like the one that wrote it.
 	blockKeys []string
-	// colVals[i] is the set of distinct values in column i.
-	colVals []map[string]bool
+	// colVals[i] maps each distinct value in column i to its reference
+	// count, so removals keep the index exact instead of monotonically
+	// stale.
+	colVals []map[string]int
 }
 
 func newRelation(name string, arity, key int) *Relation {
-	cols := make([]map[string]bool, arity)
+	cols := make([]map[string]int, arity)
 	for i := range cols {
-		cols[i] = make(map[string]bool)
+		cols[i] = make(map[string]int)
 	}
 	return &Relation{
 		Name:  name,
@@ -173,11 +179,14 @@ func (d *Database) Insert(f Fact) error {
 	r.facts[tk] = f
 	bk := tupleKey(f.Args[:r.Key])
 	if _, seen := r.blocks[bk]; !seen {
-		r.blockKeys = append(r.blockKeys, bk)
+		i := sort.SearchStrings(r.blockKeys, bk)
+		r.blockKeys = append(r.blockKeys, "")
+		copy(r.blockKeys[i+1:], r.blockKeys[i:])
+		r.blockKeys[i] = bk
 	}
 	r.blocks[bk] = append(r.blocks[bk], f)
 	for i, v := range f.Args {
-		r.colVals[i][v] = true
+		r.colVals[i][v]++
 	}
 	d.invalidate()
 	return nil
@@ -254,8 +263,9 @@ func (d *Database) Block(rel string, keyArgs []string) []Fact {
 	return r.blocks[tupleKey(keyArgs)]
 }
 
-// Blocks calls fn for every block of the relation in insertion order,
-// stopping early if fn returns false.
+// Blocks calls fn for every block of the relation in sorted block-key
+// order (deterministic in the stored content, independent of the
+// insert/remove history), stopping early if fn returns false.
 func (d *Database) Blocks(rel string, fn func(block []Fact) bool) {
 	r, ok := d.rels[rel]
 	if !ok {
@@ -312,6 +322,47 @@ func (d *Database) Clone() *Database {
 		c.MustDeclare(name, r.Arity, r.Key)
 		for _, f := range r.facts {
 			c.MustInsert(f)
+		}
+	}
+	return c
+}
+
+// clone returns a deep copy of one relation's storage.
+func (r *Relation) clone() *Relation {
+	c := newRelation(r.Name, r.Arity, r.Key)
+	for k, f := range r.facts {
+		c.facts[k] = f
+	}
+	for k, b := range r.blocks {
+		c.blocks[k] = append([]Fact(nil), b...)
+	}
+	c.blockKeys = append([]string(nil), r.blockKeys...)
+	for i := range r.colVals {
+		for v, n := range r.colVals[i] {
+			c.colVals[i][v] = n
+		}
+	}
+	return c
+}
+
+// CloneCOW returns a copy-on-write clone: relations named in rels are
+// deep-copied (and therefore safely mutable on the clone), every other
+// relation is shared by pointer with the receiver. The clone's shared
+// relations must not be mutated — the intended use is a versioned store
+// that publishes immutable snapshots and pays only for the relation a
+// write touches. Names in rels that are not declared are ignored.
+func (d *Database) CloneCOW(rels ...string) *Database {
+	c := New()
+	c.relNames = append([]string(nil), d.relNames...)
+	copied := make(map[string]bool, len(rels))
+	for _, name := range rels {
+		copied[name] = true
+	}
+	for name, r := range d.rels {
+		if copied[name] {
+			c.rels[name] = r.clone()
+		} else {
+			c.rels[name] = r
 		}
 	}
 	return c
@@ -382,10 +433,10 @@ func (d *Database) Repairs(rels []string, fn func(repair *Database) bool) {
 	rec(0)
 }
 
-// Remove deletes a fact if present. Column value indexes are left stale
-// on purpose (they are monotone hints used only to bound quantifier
-// ranges, so stale entries are harmless); Has, Facts, Block, and repair
-// enumeration are exact.
+// Remove deletes a fact if present. All indexes — blocks, the sorted
+// block-key list, and the per-column value counts — stay exact, so a
+// database that inserts and removes facts is indistinguishable from one
+// built directly from the surviving facts.
 func (d *Database) Remove(f Fact) { d.remove(f) }
 
 // remove deletes a fact; internal support for repair enumeration.
@@ -410,14 +461,16 @@ func (d *Database) remove(f Fact) {
 	}
 	if len(b) == 0 {
 		delete(r.blocks, bk)
-		for i, k := range r.blockKeys {
-			if k == bk {
-				r.blockKeys = append(r.blockKeys[:i], r.blockKeys[i+1:]...)
-				break
-			}
+		if i := sort.SearchStrings(r.blockKeys, bk); i < len(r.blockKeys) && r.blockKeys[i] == bk {
+			r.blockKeys = append(r.blockKeys[:i], r.blockKeys[i+1:]...)
 		}
 	} else {
 		r.blocks[bk] = b
+	}
+	for i, v := range f.Args {
+		if r.colVals[i][v]--; r.colVals[i][v] <= 0 {
+			delete(r.colVals[i], v)
+		}
 	}
 }
 

@@ -243,6 +243,108 @@ func TestRepairsDoNotMutateOriginal(t *testing.T) {
 	}
 }
 
+// Block iteration order must depend only on the stored content: a
+// database reached by inserts and removes iterates exactly like one
+// built directly from the surviving facts.
+func TestBlocksDeterministicAfterRemoval(t *testing.T) {
+	build := func(insert []db.Fact, remove []db.Fact) *db.Database {
+		d := db.New()
+		d.MustDeclare("R", 2, 1)
+		for _, f := range insert {
+			d.MustInsert(f)
+		}
+		for _, f := range remove {
+			d.Remove(f)
+		}
+		return d
+	}
+	blockOrder := func(d *db.Database) []string {
+		var order []string
+		d.Blocks("R", func(b []db.Fact) bool {
+			order = append(order, b[0].Args[0])
+			return true
+		})
+		return order
+	}
+	// Same surviving facts via two different histories.
+	a := build(
+		[]db.Fact{db.F("R", "c", "1"), db.F("R", "a", "1"), db.F("R", "b", "1")},
+		[]db.Fact{db.F("R", "c", "1")})
+	b := build(
+		[]db.Fact{db.F("R", "a", "1"), db.F("R", "b", "1")},
+		nil)
+	ga, gb := blockOrder(a), blockOrder(b)
+	if len(ga) != 2 || ga[0] != "a" || ga[1] != "b" {
+		t.Fatalf("block order after removal = %v, want [a b]", ga)
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("histories diverge: %v vs %v", ga, gb)
+		}
+	}
+	// Re-inserting a removed block key lands it back in sorted position.
+	a.MustInsert(db.F("R", "aa", "1"))
+	if got := blockOrder(a); got[0] != "a" || got[1] != "aa" || got[2] != "b" {
+		t.Fatalf("block order after re-insert = %v, want [a aa b]", got)
+	}
+}
+
+// Removal must keep the column value index exact: removed-only values
+// disappear, shared values survive while referenced.
+func TestColumnValuesExactAfterRemoval(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustInsert(db.F("R", "a", "x"))
+	d.MustInsert(db.F("R", "a", "y"))
+	d.MustInsert(db.F("R", "b", "x"))
+	d.Remove(db.F("R", "a", "x"))
+	r := d.Relation("R")
+	if got := r.ColumnValues(0); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("column 0 after removal = %v, want [a b]", got)
+	}
+	d.Remove(db.F("R", "a", "y"))
+	if got := r.ColumnValues(0); len(got) != 1 || got[0] != "b" {
+		t.Errorf("column 0 after removing all a-facts = %v, want [b]", got)
+	}
+	if got := r.ColumnValues(1); len(got) != 1 || got[0] != "x" {
+		t.Errorf("column 1 = %v, want [x]", got)
+	}
+	if r.NumBlocks() != 1 {
+		t.Errorf("blocks = %d, want 1", r.NumBlocks())
+	}
+	// Removing an absent fact is a no-op.
+	d.Remove(db.F("R", "z", "z"))
+	if d.Size() != 1 {
+		t.Errorf("size = %d after no-op removal, want 1", d.Size())
+	}
+}
+
+// A COW clone shares untouched relations and deep-copies named ones;
+// mutating the copied relation must not leak into the original.
+func TestCloneCOW(t *testing.T) {
+	d := girlsBoys(t)
+	c := d.CloneCOW("R")
+	c.MustInsert(db.F("R", "Zoe", "Bob"))
+	c.Remove(db.F("R", "Alice", "Bob"))
+	if d.Has(db.F("R", "Zoe", "Bob")) || !d.Has(db.F("R", "Alice", "Bob")) {
+		t.Fatal("CloneCOW leaked R mutations into the original")
+	}
+	if !c.Has(db.F("S", "Bob", "Alice")) {
+		t.Fatal("CloneCOW lost shared relation S")
+	}
+	if c.Size() != d.Size() {
+		t.Fatalf("clone size = %d, original %d", c.Size(), d.Size())
+	}
+	if names := c.RelationNames(); len(names) != 2 {
+		t.Fatalf("clone relations = %v", names)
+	}
+	// Declaring a new relation on the clone must not appear on the original.
+	c.MustDeclare("T", 1, 1)
+	if d.Relation("T") != nil {
+		t.Fatal("CloneCOW shares the relation registry")
+	}
+}
+
 func TestStringFormat(t *testing.T) {
 	d := db.New()
 	d.MustDeclare("R", 3, 2)

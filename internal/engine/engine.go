@@ -39,19 +39,28 @@ type Options struct {
 	// MinParallelCandidates is the fan-out threshold for ParallelEval;
 	// ≤ 0 selects fo.DefaultMinParallelCandidates.
 	MinParallelCandidates int
+	// ResultCacheSize is the maximum number of cached CERTAINTY answers
+	// for versioned databases (CertainVersioned); ≤ 0 selects
+	// DefaultResultCacheSize.
+	ResultCacheSize int
 }
 
 // DefaultCacheSize is the plan-cache capacity when Options.CacheSize ≤ 0.
 const DefaultCacheSize = 256
+
+// DefaultResultCacheSize is the result-cache capacity when
+// Options.ResultCacheSize ≤ 0.
+const DefaultResultCacheSize = 4096
 
 // Engine answers CERTAINTY(q) for serving workloads: plans are prepared
 // once per canonical query signature and reused, and batches of
 // independent (query, database) checks run on a worker pool. An Engine is
 // safe for concurrent use by multiple goroutines.
 type Engine struct {
-	opt   Options
-	cache *planCache
-	stats statsCounters
+	opt     Options
+	cache   *planCache
+	results *resultCache
+	stats   statsCounters
 
 	// Lifecycle: begin/end bracket every public operation so Close can
 	// refuse new work and wait for in-flight work to drain.
@@ -68,7 +77,14 @@ func New(opt Options) *Engine {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{opt: opt, cache: newPlanCache(opt.CacheSize)}
+	if opt.ResultCacheSize <= 0 {
+		opt.ResultCacheSize = DefaultResultCacheSize
+	}
+	return &Engine{
+		opt:     opt,
+		cache:   newPlanCache(opt.CacheSize),
+		results: newResultCache(opt.ResultCacheSize),
+	}
 }
 
 // begin registers one in-flight operation; it fails once Close has run.
@@ -146,6 +162,56 @@ func (e *Engine) Certain(q schema.Query, d *db.Database) (bool, error) {
 	}
 	return p.Certain(d), nil
 }
+
+// CertainVersioned answers CERTAINTY(q) on one immutable snapshot of a
+// named, versioned database (the store layer), consulting the result
+// cache first: repeated checks of the same query against the same
+// version — including versions reached only by writes to relations the
+// query does not mention — return the memoized answer without touching
+// the database. cached reports whether the answer came from the cache.
+//
+// dbID must name the database stably across versions, and writes to it
+// must be reported via ApplyWrite in version order (wire the store's
+// OnApply hook to ApplyWrite). d must be the immutable snapshot at
+// exactly version.
+func (e *Engine) CertainVersioned(q schema.Query, dbID string, version uint64, d *db.Database) (certain, cached bool, err error) {
+	if err := e.begin(); err != nil {
+		return false, false, err
+	}
+	defer e.end()
+	// The result cache is consulted before the plan cache: a result hit
+	// answers without preparing (or even touching d) at all.
+	sig := q.Signature()
+	if ans, ok := e.results.get(sig, dbID, version); ok {
+		return ans, true, nil
+	}
+	p, err := e.prepare(q)
+	if err != nil {
+		return false, false, err
+	}
+	if e.opt.ParallelEval {
+		certain = p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates)
+	} else {
+		certain = p.Certain(d)
+	}
+	rels := make(map[string]bool)
+	for _, a := range q.Atoms() {
+		rels[a.Rel] = true
+	}
+	e.results.put(sig, dbID, version, rels, certain)
+	return certain, false, nil
+}
+
+// ApplyWrite reports that dbID moved to newVersion by a write touching
+// touchedRels: cached answers for queries mentioning any touched
+// relation are invalidated, all other answers for dbID remain valid at
+// the new version. Calls must arrive in version order per database.
+func (e *Engine) ApplyWrite(dbID string, newVersion uint64, touchedRels []string) {
+	e.results.applyWrite(dbID, newVersion, touchedRels)
+}
+
+// DropDB forgets every cached answer for dbID.
+func (e *Engine) DropDB(dbID string) { e.results.dropDB(dbID) }
 
 // Item is one independent CERTAINTY check of a batch.
 type Item struct {

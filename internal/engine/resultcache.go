@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache memoizes CERTAINTY answers for named, versioned databases
+// (the store layer): entries are keyed by (canonical query signature,
+// database id) and carry the store version they are valid at plus the
+// set of relations the query mentions. Invalidation is incremental at
+// relation granularity — the block structure of the paper localizes a
+// write to one block of one relation, and a CERTAINTY answer can only
+// change when the query mentions a written relation. So on a write:
+//
+//   - entries whose query mentions a touched relation are dropped
+//     (counted as invalidations);
+//   - every other entry of that database is advanced to the new version
+//     and stays a hit — an irrelevant write costs nothing.
+//
+// Writes must be reported in version order (ApplyWrite is driven by the
+// store's OnApply hook, which runs under the store's writer lock).
+// Lookups and inserts carry the version of the snapshot they evaluated
+// against; an insert computed against a version that is no longer
+// current is discarded, so a slow reader racing a writer can never
+// plant a stale answer.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	// order is the recency list; front = most recently used. Values are
+	// *resultEntry.
+	order   *list.List
+	entries map[resultKey]*list.Element
+	// byDB indexes entries per database id for O(|entries of db|)
+	// invalidation and drop.
+	byDB map[string]map[resultKey]*list.Element
+	// current is the latest version ApplyWrite (or a first insert)
+	// reported per database id.
+	current map[string]uint64
+
+	hits, misses, invalidations uint64
+}
+
+type resultKey struct {
+	sig  string
+	dbID string
+}
+
+type resultEntry struct {
+	key     resultKey
+	version uint64
+	certain bool
+	// rels are the relations the query mentions; a write touching any
+	// of them invalidates the entry.
+	rels map[string]bool
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[resultKey]*list.Element),
+		byDB:    make(map[string]map[resultKey]*list.Element),
+		current: make(map[string]uint64),
+	}
+}
+
+// get returns the cached answer for (sig, dbID) at exactly version.
+func (c *resultCache) get(sig, dbID string, version uint64) (bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[resultKey{sig, dbID}]
+	if !ok || el.Value.(*resultEntry).version != version {
+		c.misses++
+		return false, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*resultEntry).certain, true
+}
+
+// put records an answer computed against the snapshot at version. It is
+// discarded when a write has moved the database past that version — the
+// answer may already be stale.
+func (c *resultCache) put(sig, dbID string, version uint64, rels map[string]bool, certain bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.current[dbID]; ok && cur != version {
+		return
+	}
+	c.current[dbID] = version
+	key := resultKey{sig, dbID}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*resultEntry)
+		e.version, e.certain, e.rels = version, certain, rels
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&resultEntry{key: key, version: version, certain: certain, rels: rels})
+	c.entries[key] = el
+	if c.byDB[dbID] == nil {
+		c.byDB[dbID] = make(map[resultKey]*list.Element)
+	}
+	c.byDB[dbID][key] = el
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.removeLocked(back.Value.(*resultEntry).key)
+	}
+}
+
+// applyWrite advances dbID to newVersion: entries whose query mentions
+// a touched relation are invalidated, all others stay valid at the new
+// version.
+func (c *resultCache) applyWrite(dbID string, newVersion uint64, touched []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current[dbID] = newVersion
+	for key, el := range c.byDB[dbID] {
+		e := el.Value.(*resultEntry)
+		stale := false
+		for _, r := range touched {
+			if e.rels[r] {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			c.removeLocked(key)
+			c.invalidations++
+		} else {
+			e.version = newVersion
+		}
+	}
+}
+
+// dropDB forgets every entry and the version watermark of dbID (the
+// database was deleted or replaced wholesale).
+func (c *resultCache) dropDB(dbID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.byDB[dbID] {
+		c.removeLocked(key)
+	}
+	delete(c.current, dbID)
+}
+
+func (c *resultCache) removeLocked(key resultKey) {
+	el, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, key)
+	if m := c.byDB[key.dbID]; m != nil {
+		delete(m, key)
+		if len(m) == 0 {
+			delete(c.byDB, key.dbID)
+		}
+	}
+}
+
+// counters snapshots the hit/miss/invalidation counters and size.
+func (c *resultCache) counters() (hits, misses, invalidations uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations, c.order.Len()
+}

@@ -1,0 +1,186 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/parse"
+	"cqa/internal/store"
+)
+
+// The acceptance property of incremental invalidation: after a write to
+// a relation q does not mention, re-answering q is a result-cache hit;
+// after a write to a mentioned relation it is a miss, and the recomputed
+// answer matches core.Certain on the new snapshot.
+func TestResultCacheIncrementalInvalidation(t *testing.T) {
+	e := engine.New(engine.Options{})
+	defer e.Close()
+	st := store.NewMem("d", parse.MustDatabase("R(a | 1)\nR(a | 2)\nS(a | 1)\nT(z | z)"))
+	st.SetOnApply(func(c store.Change) { e.ApplyWrite("d", c.Version, c.Rels) })
+
+	q := parse.MustQuery("R(x | y), !S(y | x)") // mentions R and S, not T
+	ask := func() (bool, bool) {
+		t.Helper()
+		snap := st.Snapshot()
+		certain, cached, err := e.CertainVersioned(q, "d", snap.Version, snap.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Certain(q, snap.DB, core.EngineAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if certain != want {
+			t.Fatalf("served %v at v%d, core.Certain says %v", certain, snap.Version, want)
+		}
+		return certain, cached
+	}
+
+	if _, cached := ask(); cached {
+		t.Fatal("first ask must be a miss")
+	}
+	if _, cached := ask(); !cached {
+		t.Fatal("repeat ask at same version must be a hit")
+	}
+
+	// Write to T — not mentioned by q: the answer must stay cached even
+	// though the version moved.
+	if _, err := st.Insert(db.F("T", "new", "fact")); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached := ask(); !cached {
+		t.Fatal("write to unmentioned relation must keep the cache hit")
+	}
+
+	// Write to R — mentioned by q: the entry must be invalidated and the
+	// recomputed answer must match ground truth on the new snapshot.
+	if _, err := st.Insert(db.F("R", "b", "7")); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached := ask(); cached {
+		t.Fatal("write to mentioned relation must be a cache miss")
+	}
+	if _, cached := ask(); !cached {
+		t.Fatal("recomputed answer must be cached again")
+	}
+
+	stats := e.Stats()
+	if stats.ResultInvalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", stats.ResultInvalidations)
+	}
+	if stats.ResultHits != 3 || stats.ResultMisses != 2 {
+		t.Errorf("result cache hits/misses = %d/%d, want 3/2", stats.ResultHits, stats.ResultMisses)
+	}
+}
+
+// A no-op write (version unchanged) must not disturb cached answers.
+func TestResultCacheNoOpWrite(t *testing.T) {
+	e := engine.New(engine.Options{})
+	defer e.Close()
+	st := store.NewMem("d", parse.MustDatabase("R(a | 1)"))
+	st.SetOnApply(func(c store.Change) { e.ApplyWrite("d", c.Version, c.Rels) })
+	q := parse.MustQuery("R(x | y)")
+	snap := st.Snapshot()
+	if _, _, err := e.CertainVersioned(q, "d", snap.Version, snap.DB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert(db.F("R", "a", "1")); err != nil { // duplicate: no-op
+		t.Fatal(err)
+	}
+	snap = st.Snapshot()
+	if _, cached, _ := e.CertainVersioned(q, "d", snap.Version, snap.DB); !cached {
+		t.Fatal("no-op write must keep the cache hit")
+	}
+}
+
+// A reader that computed against a pre-write snapshot must not plant a
+// stale answer after the write: its put is discarded because the
+// version watermark moved.
+func TestResultCacheRejectsStalePut(t *testing.T) {
+	e := engine.New(engine.Options{})
+	defer e.Close()
+	st := store.NewMem("d", parse.MustDatabase("R(a | 1)\nR(a | 2)"))
+	st.SetOnApply(func(c store.Change) { e.ApplyWrite("d", c.Version, c.Rels) })
+	q := parse.MustQuery("R(x | y)")
+
+	// Take the snapshot before the write, evaluate after it.
+	old := st.Snapshot()
+	if _, err := st.Delete(db.F("R", "a", "1"), db.F("R", "a", "2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.CertainVersioned(q, "d", old.Version, old.DB); err != nil {
+		t.Fatal(err)
+	}
+	// The stale evaluation must not be served at the current version.
+	now := st.Snapshot()
+	certain, cached, err := e.CertainVersioned(q, "d", now.Version, now.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("stale put leaked into the current version")
+	}
+	if certain {
+		t.Fatal("empty R cannot be certain for R(x | y)")
+	}
+}
+
+// Entries are per-database: the same query on two stores does not
+// collide, and DropDB forgets one database only.
+func TestResultCachePerDatabaseIsolation(t *testing.T) {
+	e := engine.New(engine.Options{})
+	defer e.Close()
+	q := parse.MustQuery("R(x | y), !S(y | x)")
+	mk := func(id, facts string) *store.Store {
+		st := store.NewMem(id, parse.MustDatabase(facts))
+		st.SetOnApply(func(c store.Change) { e.ApplyWrite(id, c.Version, c.Rels) })
+		return st
+	}
+	a := mk("a", "R(a | 1)\nS(z | z)")
+	b := mk("b", "R(a | 1)\nS(1 | a)")
+	askOn := func(id string, st *store.Store) (bool, bool) {
+		t.Helper()
+		snap := st.Snapshot()
+		certain, cached, err := e.CertainVersioned(q, id, snap.Version, snap.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return certain, cached
+	}
+	ca, _ := askOn("a", a)
+	cb, _ := askOn("b", b)
+	if !ca || cb {
+		t.Fatalf("answers = %v/%v, want true/false", ca, cb)
+	}
+	if _, cached := askOn("a", a); !cached {
+		t.Fatal("a should be cached")
+	}
+	e.DropDB("a")
+	if _, cached := askOn("a", a); cached {
+		t.Fatal("DropDB(a) should evict a's entries")
+	}
+	if _, cached := askOn("b", b); !cached {
+		t.Fatal("DropDB(a) must not evict b's entries")
+	}
+}
+
+// LRU eviction keeps the cache bounded.
+func TestResultCacheEviction(t *testing.T) {
+	e := engine.New(engine.Options{ResultCacheSize: 2})
+	defer e.Close()
+	q := parse.MustQuery("R(x | y)")
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("db%d", i)
+		st := store.NewMem(id, parse.MustDatabase("R(a | 1)"))
+		snap := st.Snapshot()
+		if _, _, err := e.CertainVersioned(q, id, snap.Version, snap.DB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().CachedResults; got != 2 {
+		t.Fatalf("cached results = %d, want 2 (capacity)", got)
+	}
+}

@@ -33,6 +33,13 @@ type Stats struct {
 	CacheHits, CacheMisses, CacheEvictions uint64
 	CachedPlans                            int
 
+	// ResultHits and ResultMisses count CertainVersioned lookups in the
+	// versioned result cache; ResultInvalidations counts entries dropped
+	// because a write touched a relation their query mentions;
+	// CachedResults is the current population.
+	ResultHits, ResultMisses, ResultInvalidations uint64
+	CachedResults                                 int
+
 	// Batches and BatchItems count CertainBatch calls and the items they
 	// completed; BatchErrors counts items that returned an error
 	// (including recovered panics) and CancelledItems the items skipped
@@ -52,11 +59,17 @@ type Stats struct {
 // flight is approximate.
 func (e *Engine) Stats() Stats {
 	hits, misses, evictions, size := e.cache.counters()
+	rhits, rmisses, rinval, rsize := e.results.counters()
 	return Stats{
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		CacheEvictions:  evictions,
 		CachedPlans:     size,
+
+		ResultHits:          rhits,
+		ResultMisses:        rmisses,
+		ResultInvalidations: rinval,
+		CachedResults:       rsize,
 		Batches:         e.stats.batches.Load(),
 		BatchItems:      e.stats.items.Load(),
 		BatchErrors:     e.stats.errors.Load(),
@@ -70,8 +83,9 @@ func (e *Engine) Stats() Stats {
 // String renders the snapshot as a single human-readable line.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"cache: %d hits, %d misses, %d evictions, %d plans | batch: %d batches, %d items, %d errors, %d cancelled | workers: %d/%d busy (peak %d)",
+		"cache: %d hits, %d misses, %d evictions, %d plans | results: %d hits, %d misses, %d invalidations, %d cached | batch: %d batches, %d items, %d errors, %d cancelled | workers: %d/%d busy (peak %d)",
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CachedPlans,
+		s.ResultHits, s.ResultMisses, s.ResultInvalidations, s.CachedResults,
 		s.Batches, s.BatchItems, s.BatchErrors, s.CancelledItems,
 		s.BusyWorkers, s.Workers, s.PeakBusyWorkers)
 }

@@ -1,0 +1,321 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/metrics"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+	"cqa/internal/server"
+)
+
+// The mutable workload drives one named server database with a single
+// writer and N concurrent readers. The writer mirrors every acknowledged
+// batch into a local shadow database and clones it per version, so after
+// the run every served answer can be cross-checked against core.Certain
+// on the exact snapshot the server answered from — the version in the
+// response names it. The relations are fixed:
+//
+//	R(2,1), S(2,1)  — written by the writer
+//	T(2,1)          — never written after the seed
+//
+// and the reader queries are chosen so that q2 mentions only T: its
+// answers must stay result-cache hits across writes (incremental
+// invalidation), while q0/q1 are invalidated by R/S writes.
+var mutableQueries = []string{
+	"R(x | y)",
+	"R(x | y), !S(y | x)",
+	"T(x | y)",
+}
+
+// mutableSeed declares the three relations and gives T its only facts.
+const mutableSeed = "R(k0 | v0)\nS(k0 | v1)\nT(t0 | u0)\nT(t0 | u1)\n"
+
+// MutableOptions configures RunMutable.
+type MutableOptions struct {
+	// Database is the server database name; empty selects "mutable".
+	// The database must not already exist; RunMutable creates it.
+	Database string
+	// Readers is the number of concurrent read loops; ≤ 0 selects 4.
+	Readers int
+	// Writes is the number of write batches the single writer issues;
+	// ≤ 0 selects 40. The run ends when the writer is done.
+	Writes int
+	// Seed drives the mutation and read sequences.
+	Seed int64
+	// Timeout is the per-request client timeout; ≤ 0 selects 30s.
+	Timeout time.Duration
+}
+
+// MutRead records one read: which query, the version the server answered
+// at, the answer, and whether it came from the result cache.
+type MutRead struct {
+	QueryIdx int
+	Version  uint64
+	Certain  bool
+	Cached   bool
+	Err      string
+}
+
+// MutQueryStats aggregates the reads of one query.
+type MutQueryStats struct {
+	Reads  int
+	Cached int
+}
+
+// MutableReport is the outcome of a RunMutable: every read, the shadow
+// snapshot per acknowledged version, and aggregate counters.
+type MutableReport struct {
+	Duration time.Duration
+	Writes   int
+	Applied  int // effective mutations acknowledged by the server
+	Reads    int
+	Failures int
+	PerQuery []MutQueryStats
+	Latency  metrics.HistogramSnapshot
+
+	Queries []schema.Query
+	Calls   []MutRead
+	// Shadows maps every acknowledged store version to the database
+	// content at that version, rebuilt client-side from the writes.
+	Shadows map[uint64]*db.Database
+}
+
+// String renders the report as a short multi-line summary.
+func (r *MutableReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d writes (%d applied) + %d reads in %v, %d failed\n",
+		r.Writes, r.Applied, r.Reads, r.Duration.Round(time.Millisecond), r.Failures)
+	for i, qs := range r.PerQuery {
+		frac := 0.0
+		if qs.Reads > 0 {
+			frac = float64(qs.Cached) / float64(qs.Reads)
+		}
+		fmt.Fprintf(&b, "  q%d %-24s reads=%-4d cached=%.0f%%\n", i, r.Queries[i].String(), qs.Reads, 100*frac)
+	}
+	fmt.Fprintf(&b, "  latency: %s", r.Latency)
+	return b.String()
+}
+
+// RunMutable creates a fresh named database on the server and drives it
+// with one writer (insert/delete batches over R and S) and opt.Readers
+// concurrent readers (named-database /v1/certain over mutableQueries)
+// until the writer has issued opt.Writes batches.
+func RunMutable(ctx context.Context, baseURL string, opt MutableOptions) (*MutableReport, error) {
+	if opt.Database == "" {
+		opt.Database = "mutable"
+	}
+	if opt.Readers <= 0 {
+		opt.Readers = 4
+	}
+	if opt.Writes <= 0 {
+		opt.Writes = 40
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	rep := &MutableReport{
+		PerQuery: make([]MutQueryStats, len(mutableQueries)),
+		Shadows:  make(map[uint64]*db.Database),
+	}
+	for _, src := range mutableQueries {
+		q, err := parse.Query(src)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad mutable query %q: %v", src, err)
+		}
+		rep.Queries = append(rep.Queries, q)
+	}
+	client := &http.Client{
+		Timeout: opt.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Readers + 2,
+			MaxIdleConnsPerHost: opt.Readers + 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	// Create the database and seed the shadow at the create version.
+	shadow, err := parse.Database(mutableSeed)
+	if err != nil {
+		return nil, err
+	}
+	var created server.DBWriteResponse
+	if err := postDecode(ctx, client, baseURL+"/v1/db/create",
+		server.DBCreateRequest{Name: opt.Database, Facts: mutableSeed}, &created); err != nil {
+		return nil, fmt.Errorf("loadgen: creating %s: %w", opt.Database, err)
+	}
+	rep.Shadows[created.Version] = shadow.Clone()
+
+	hist := metrics.NewHistogram(nil)
+	done := make(chan struct{})
+	var mu sync.Mutex // guards rep.Calls, rep.Shadows, counters
+
+	// The single writer: random insert/delete batches over R and S. Each
+	// acknowledged version gets a shadow clone.
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(opt.Seed))
+		for i := 0; i < opt.Writes && ctx.Err() == nil; i++ {
+			rel := []string{"R", "S"}[rng.Intn(2)]
+			fact := db.F(rel, fmt.Sprintf("k%d", rng.Intn(4)), fmt.Sprintf("v%d", rng.Intn(3)))
+			del := rng.Intn(3) == 0 // 2:1 insert:delete keeps the db non-empty
+			path := "/v1/db/insert"
+			if del {
+				path = "/v1/db/delete"
+			}
+			var ack server.DBWriteResponse
+			err := postDecode(ctx, client, baseURL+path, server.DBWriteRequest{
+				Database: opt.Database,
+				Facts:    fmt.Sprintf("%s(%s | %s)\n", fact.Rel, fact.Args[0], fact.Args[1]),
+			}, &ack)
+			if err != nil {
+				writerErr = fmt.Errorf("loadgen: write %d: %w", i, err)
+				return
+			}
+			// Mirror the server's batch semantics: duplicate inserts and
+			// absent deletes are no-ops and do not move the version.
+			switch {
+			case del && shadow.Has(fact):
+				shadow.Remove(fact)
+			case !del && !shadow.Has(fact):
+				shadow.MustInsert(fact)
+			}
+			mu.Lock()
+			rep.Writes++
+			rep.Applied += ack.Applied
+			if _, ok := rep.Shadows[ack.Version]; !ok {
+				rep.Shadows[ack.Version] = shadow.Clone()
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Readers: hammer the named database until the writer is done.
+	for c := 0; c < opt.Readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + 1 + int64(c)*7919))
+			for ctx.Err() == nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				qi := rng.Intn(len(mutableQueries))
+				var out server.CertainResponse
+				t0 := time.Now()
+				err := postDecode(ctx, client, baseURL+"/v1/certain",
+					server.CertainRequest{Query: mutableQueries[qi], Database: opt.Database}, &out)
+				hist.Observe(time.Since(t0))
+				call := MutRead{QueryIdx: qi, Version: out.Version, Certain: out.Certain}
+				if out.Cached != nil {
+					call.Cached = *out.Cached
+				}
+				if err != nil {
+					call.Err = err.Error()
+				}
+				mu.Lock()
+				rep.Reads++
+				rep.PerQuery[qi].Reads++
+				if call.Cached {
+					rep.PerQuery[qi].Cached++
+				}
+				if call.Err != "" {
+					rep.Failures++
+				}
+				rep.Calls = append(rep.Calls, call)
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	wg.Wait()
+	rep.Duration = time.Since(start)
+	rep.Latency = hist.Snapshot()
+	if writerErr != nil {
+		return rep, writerErr
+	}
+	return rep, ctx.Err()
+}
+
+// ValidateMutable cross-checks every successful read against core.Certain
+// on the shadow snapshot of the version the server answered at — the
+// contemporaneous database content, not the final one. Ground truth is
+// memoized per (query, version). Returns the number of answers checked.
+func ValidateMutable(rep *MutableReport) (int, error) {
+	type key struct {
+		qi int
+		v  uint64
+	}
+	truth := make(map[key]bool)
+	checked := 0
+	for _, call := range rep.Calls {
+		if call.Err != "" {
+			continue
+		}
+		snap, ok := rep.Shadows[call.Version]
+		if !ok {
+			return checked, fmt.Errorf("loadgen: served version %d has no shadow snapshot", call.Version)
+		}
+		k := key{call.QueryIdx, call.Version}
+		want, ok := truth[k]
+		if !ok {
+			var err error
+			want, err = core.Certain(rep.Queries[call.QueryIdx], snap, core.EngineAuto)
+			if err != nil {
+				return checked, fmt.Errorf("loadgen: ground truth for q%d at v%d: %w", call.QueryIdx, call.Version, err)
+			}
+			truth[k] = want
+		}
+		if call.Certain != want {
+			return checked, fmt.Errorf("loadgen: q%d at v%d: served %v, ground truth %v",
+				call.QueryIdx, call.Version, call.Certain, want)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// postDecode posts body as JSON and decodes a 200 response into out; a
+// non-200 response becomes an error carrying the body.
+func postDecode(ctx context.Context, client *http.Client, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}

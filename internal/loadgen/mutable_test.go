@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cqa/internal/server"
+)
+
+func TestRunMutableValidates(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := RunMutable(context.Background(), ts.URL, MutableOptions{
+		Readers: 3,
+		Writes:  30,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatalf("RunMutable: %v\n%s", err, rep)
+	}
+	if rep.Writes != 30 {
+		t.Errorf("writes = %d, want 30", rep.Writes)
+	}
+	if rep.Reads == 0 {
+		t.Error("no reads issued")
+	}
+	if rep.Failures != 0 {
+		t.Errorf("%d reads failed\n%s", rep.Failures, rep)
+	}
+	checked, err := ValidateMutable(rep)
+	if err != nil {
+		t.Fatalf("validation failed after %d checks: %v", checked, err)
+	}
+	if checked == 0 {
+		t.Fatal("validated zero answers")
+	}
+
+	// q2 mentions only T, which the writer never touches, so writes never
+	// invalidate its entry. Misses still occur when an evaluation
+	// straddles a version bump (the stale-put watermark conservatively
+	// discards it), so assert a majority of hits rather than all-but-one;
+	// the exact invalidation semantics are pinned down deterministically
+	// in internal/engine and certbench E14.
+	if q2 := rep.PerQuery[2]; q2.Reads >= 10 && q2.Cached*2 < q2.Reads {
+		t.Errorf("q2 (T only): %d of %d reads cached, want a clear majority\n%s",
+			q2.Cached, q2.Reads, rep)
+	}
+}
+
+func TestRunMutableRejectsExistingDatabase(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := RunMutable(context.Background(), ts.URL, MutableOptions{Database: "dup", Writes: 1, Readers: 1}); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := RunMutable(context.Background(), ts.URL, MutableOptions{Database: "dup", Writes: 1, Readers: 1}); err == nil {
+		t.Fatal("second run against the same name should fail on create")
+	}
+}

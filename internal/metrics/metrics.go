@@ -44,6 +44,18 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Add moves the gauge by delta (negative to decrease).
 func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
 
+// Max raises the gauge to n if n is larger, atomically — for monotonic
+// high-water marks (e.g. the latest store snapshot version) updated from
+// concurrent writers.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

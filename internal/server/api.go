@@ -40,10 +40,57 @@ type CertainRequest struct {
 	Database string `json:"database,omitempty"`
 }
 
-// CertainResponse is the answer for one database.
+// CertainResponse is the answer for one database. For a named database
+// the response also carries the store version the answer is valid at and
+// whether it came from the versioned result cache.
 type CertainResponse struct {
-	Certain bool   `json:"certain"`
-	Verdict string `json:"verdict"`
+	Certain  bool   `json:"certain"`
+	Verdict  string `json:"verdict"`
+	Database string `json:"database,omitempty"`
+	Version  uint64 `json:"version,omitempty"`
+	Cached   *bool  `json:"cached,omitempty"`
+}
+
+// DBCreateRequest asks for a new named database, optionally seeded with
+// inline facts (the cqa database syntax, one fact per line).
+type DBCreateRequest struct {
+	Name  string `json:"name"`
+	Facts string `json:"facts,omitempty"`
+}
+
+// DBWriteRequest applies one atomic batch of facts to a named database
+// (POST /v1/db/insert and /v1/db/delete).
+type DBWriteRequest struct {
+	Database string `json:"database"`
+	Facts    string `json:"facts"`
+}
+
+// DBWriteResponse acknowledges a write: the store version after the
+// batch, how many mutations took effect (no-ops are filtered), and the
+// relations the batch touched.
+type DBWriteResponse struct {
+	Database string   `json:"database"`
+	Version  uint64   `json:"version"`
+	Applied  int      `json:"applied"`
+	Touched  []string `json:"touched,omitempty"`
+}
+
+// DBInfoResponse lists every named database (GET /v1/db/info).
+type DBInfoResponse struct {
+	Databases []DBInfo `json:"databases"`
+}
+
+// DBInfo describes one named database from a consistent snapshot.
+type DBInfo struct {
+	Name              string   `json:"name"`
+	Version           uint64   `json:"version"`
+	Facts             int      `json:"facts"`
+	Relations         []string `json:"relations"`
+	Durable           bool     `json:"durable"`
+	WALRecords        uint64   `json:"walRecords"`
+	SegmentRecords    uint64   `json:"segmentRecords"`
+	CheckpointVersion uint64   `json:"checkpointVersion"`
+	Checkpoints       uint64   `json:"checkpoints"`
 }
 
 // BatchRequest fans one query across many databases (named, inline, or a
@@ -81,24 +128,31 @@ type ErrorDetail struct {
 
 // StatsResponse is the GET /v1/stats payload.
 type StatsResponse struct {
-	Engine EngineStats    `json:"engine"`
-	Server map[string]any `json:"server"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Engine        EngineStats    `json:"engine"`
+	Server        map[string]any `json:"server"`
 }
 
-// EngineStats mirrors engine.Stats in JSON form.
+// EngineStats mirrors engine.Stats in JSON form, with derived hit
+// ratios for the plan cache and the versioned result cache.
 type EngineStats struct {
-	CacheHits       uint64  `json:"cacheHits"`
-	CacheMisses     uint64  `json:"cacheMisses"`
-	CacheEvictions  uint64  `json:"cacheEvictions"`
-	CachedPlans     int     `json:"cachedPlans"`
-	CacheHitRate    float64 `json:"cacheHitRate"`
-	Batches         uint64  `json:"batches"`
-	BatchItems      uint64  `json:"batchItems"`
-	BatchErrors     uint64  `json:"batchErrors"`
-	CancelledItems  uint64  `json:"cancelledItems"`
-	Workers         int     `json:"workers"`
-	BusyWorkers     int     `json:"busyWorkers"`
-	PeakBusyWorkers int     `json:"peakBusyWorkers"`
+	CacheHits           uint64  `json:"cacheHits"`
+	CacheMisses         uint64  `json:"cacheMisses"`
+	CacheEvictions      uint64  `json:"cacheEvictions"`
+	CachedPlans         int     `json:"cachedPlans"`
+	CacheHitRate        float64 `json:"cacheHitRate"`
+	ResultHits          uint64  `json:"resultHits"`
+	ResultMisses        uint64  `json:"resultMisses"`
+	ResultInvalidations uint64  `json:"resultInvalidations"`
+	CachedResults       int     `json:"cachedResults"`
+	ResultHitRate       float64 `json:"resultHitRate"`
+	Batches             uint64  `json:"batches"`
+	BatchItems          uint64  `json:"batchItems"`
+	BatchErrors         uint64  `json:"batchErrors"`
+	CancelledItems      uint64  `json:"cancelledItems"`
+	Workers             int     `json:"workers"`
+	BusyWorkers         int     `json:"busyWorkers"`
+	PeakBusyWorkers     int     `json:"peakBusyWorkers"`
 }
 
 // decodeJSON strictly decodes one JSON value from r into v: unknown

@@ -8,9 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"cqa/internal/core"
-	"cqa/internal/db"
 	"cqa/internal/engine"
 	"cqa/internal/parse"
 	"cqa/internal/sqlgen"
@@ -119,24 +119,50 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
 		return
 	}
-	var d *db.Database
 	if req.Database != "" {
-		d = s.dbs[req.Database]
-		if d == nil {
+		// Named databases are versioned stores: answer on a consistent
+		// snapshot through the engine's result cache, so repeated checks
+		// at an unchanged version — or a version moved only by writes to
+		// relations q does not mention — skip evaluation entirely.
+		st := s.stores.Get(req.Database)
+		if st == nil {
 			s.writeError(w, http.StatusNotFound, "unknown_database",
-				fmt.Sprintf("no preloaded database named %q", req.Database))
+				fmt.Sprintf("no database named %q", req.Database))
 			return
 		}
-	} else {
-		d, err = parse.Database(req.Facts)
+		snap := st.Snapshot()
+		v, err := s.bounded(r.Context(), func() (any, error) {
+			p, err := s.eng.Prepare(q)
+			if err != nil {
+				return nil, err
+			}
+			certain, cached, err := s.eng.CertainVersioned(q, req.Database, snap.Version, snap.DB)
+			if err != nil {
+				return nil, err
+			}
+			return CertainResponse{
+				Certain:  certain,
+				Verdict:  string(p.Classification().Verdict),
+				Database: req.Database,
+				Version:  snap.Version,
+				Cached:   &cached,
+			}, nil
+		})
 		if err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			s.writeWorkError(w, err)
 			return
 		}
-		if err := parse.DeclareQueryRelations(d, q); err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
-			return
-		}
+		s.writeJSON(w, http.StatusOK, v)
+		return
+	}
+	d, err := parse.Database(req.Facts)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+		return
+	}
+	if err := parse.DeclareQueryRelations(d, q); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+		return
 	}
 	v, err := s.bounded(r.Context(), func() (any, error) {
 		p, err := s.eng.Prepare(q)
@@ -184,15 +210,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items := make([]engine.Item, 0, n)
 	resolveErrs := make([]string, 0, n)
+	// Named databases resolve to a consistent snapshot each; the batch
+	// path evaluates directly (it bypasses the versioned result cache —
+	// batches mix many databases, and their per-item answers are rarely
+	// re-asked at an identical version).
 	for _, name := range req.Databases {
-		d := s.dbs[name]
-		if d == nil {
-			resolveErrs = append(resolveErrs, fmt.Sprintf("no preloaded database named %q", name))
+		st := s.stores.Get(name)
+		if st == nil {
+			resolveErrs = append(resolveErrs, fmt.Sprintf("no database named %q", name))
 			items = append(items, engine.Item{})
 			continue
 		}
 		resolveErrs = append(resolveErrs, "")
-		items = append(items, engine.Item{Query: q, DB: d})
+		items = append(items, engine.Item{Query: q, DB: st.Snapshot().DB})
 	}
 	for _, facts := range req.Facts {
 		d, err := parse.Database(facts)
@@ -255,27 +285,36 @@ func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
 	}
 }
 
-// handleStats answers GET /v1/stats with engine and server counters.
+// handleStats answers GET /v1/stats with engine and server counters,
+// daemon uptime, and the plan/result cache hit ratios.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
 		Engine: EngineStats{
-			CacheHits:       st.CacheHits,
-			CacheMisses:     st.CacheMisses,
-			CacheEvictions:  st.CacheEvictions,
-			CachedPlans:     st.CachedPlans,
-			Batches:         st.Batches,
-			BatchItems:      st.BatchItems,
-			BatchErrors:     st.BatchErrors,
-			CancelledItems:  st.CancelledItems,
-			Workers:         st.Workers,
-			BusyWorkers:     st.BusyWorkers,
-			PeakBusyWorkers: st.PeakBusyWorkers,
+			CacheHits:           st.CacheHits,
+			CacheMisses:         st.CacheMisses,
+			CacheEvictions:      st.CacheEvictions,
+			CachedPlans:         st.CachedPlans,
+			ResultHits:          st.ResultHits,
+			ResultMisses:        st.ResultMisses,
+			ResultInvalidations: st.ResultInvalidations,
+			CachedResults:       st.CachedResults,
+			Batches:             st.Batches,
+			BatchItems:          st.BatchItems,
+			BatchErrors:         st.BatchErrors,
+			CancelledItems:      st.CancelledItems,
+			Workers:             st.Workers,
+			BusyWorkers:         st.BusyWorkers,
+			PeakBusyWorkers:     st.PeakBusyWorkers,
 		},
 		Server: s.reg.Values(),
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		resp.Engine.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	if total := st.ResultHits + st.ResultMisses; total > 0 {
+		resp.Engine.ResultHitRate = float64(st.ResultHits) / float64(total)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -17,6 +17,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/engine"
 	"cqa/internal/metrics"
+	"cqa/internal/store"
 )
 
 // Options configures a Server. The zero value of every field selects a
@@ -25,9 +26,17 @@ type Options struct {
 	// Engine answers the requests; nil creates a default engine.New.
 	Engine *engine.Engine
 	// Databases are the preloaded databases addressable by name in
-	// /v1/certain and /v1/batch. The map and its databases must not be
-	// mutated after New.
+	// /v1/certain and /v1/batch. Each is wrapped in a memory-only
+	// versioned store (store.NewMem), so they are also writable through
+	// /v1/db/insert and /v1/db/delete. The map and its databases must not
+	// be mutated after New.
 	Databases map[string]*db.Database
+	// Stores is the versioned store set behind the named-database API;
+	// nil creates an empty memory-only set. Databases entries whose name
+	// is not already a member are adopted into it. The server registers
+	// each member's OnApply hook (result-cache invalidation + metrics),
+	// so stores handed in here must not have their own OnApply.
+	Stores *store.Set
 	// MaxInFlight bounds concurrently admitted API requests; excess
 	// requests are shed with 429 + Retry-After. ≤ 0 selects 64.
 	MaxInFlight int
@@ -51,11 +60,12 @@ type Options struct {
 type Server struct {
 	opt      Options
 	eng      *engine.Engine
-	dbs      map[string]*db.Database
+	stores   *store.Set
 	reg      *metrics.Registry
 	sem      chan struct{}
 	draining atomic.Bool
 	handler  http.Handler
+	start    time.Time
 }
 
 // New builds a server over the given options.
@@ -78,12 +88,27 @@ func New(opt Options) *Server {
 	if opt.Metrics == nil {
 		opt.Metrics = metrics.NewRegistry()
 	}
+	if opt.Stores == nil {
+		// Dir == "" cannot fail: no directory is scanned.
+		opt.Stores, _ = store.OpenSet(store.Options{})
+	}
 	s := &Server{
-		opt: opt,
-		eng: opt.Engine,
-		dbs: opt.Databases,
-		reg: opt.Metrics,
-		sem: make(chan struct{}, opt.MaxInFlight),
+		opt:    opt,
+		eng:    opt.Engine,
+		stores: opt.Stores,
+		reg:    opt.Metrics,
+		sem:    make(chan struct{}, opt.MaxInFlight),
+		start:  time.Now(),
+	}
+	// Preloaded databases become memory-only stores; a durable store that
+	// already claimed the name wins (the preload seeded it originally).
+	for name, d := range opt.Databases {
+		if s.stores.Get(name) == nil {
+			_ = s.stores.Adopt(store.NewMem(name, d))
+		}
+	}
+	for _, name := range s.stores.Names() {
+		s.attach(name, s.stores.Get(name))
 	}
 	// Pre-register the counters so /metrics shows zeros before traffic,
 	// and surface the engine cache hit rate as a computed value.
@@ -91,10 +116,13 @@ func New(opt Options) *Server {
 		"requests_total", "classify_total", "certain_total", "batch_total",
 		"batch_items_total", "rejected_total", "timeouts_total",
 		"errors_total", "panics_total",
+		"db_create_total", "db_insert_total", "db_delete_total",
+		"wal_records",
 	} {
 		s.reg.Counter(n)
 	}
 	s.reg.Gauge("requests_inflight")
+	s.reg.Gauge("snapshot_version")
 	s.reg.Histogram("request_latency")
 	s.reg.SetFunc("engine_cache_hit_rate", func() any {
 		st := s.eng.Stats()
@@ -104,11 +132,18 @@ func New(opt Options) *Server {
 		}
 		return float64(st.CacheHits) / float64(total)
 	})
+	s.reg.SetFunc("result_cache_hits", func() any { return s.eng.Stats().ResultHits })
+	s.reg.SetFunc("result_cache_misses", func() any { return s.eng.Stats().ResultMisses })
+	s.reg.SetFunc("result_cache_invalidations", func() any { return s.eng.Stats().ResultInvalidations })
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/classify", s.api("classify_total", s.handleClassify))
 	mux.Handle("POST /v1/certain", s.api("certain_total", s.handleCertain))
 	mux.Handle("POST /v1/batch", s.api("batch_total", s.handleBatch))
+	mux.Handle("POST /v1/db/create", s.api("db_create_total", s.handleDBCreate))
+	mux.Handle("POST /v1/db/insert", s.api("db_insert_total", s.handleDBWrite(false)))
+	mux.Handle("POST /v1/db/delete", s.api("db_delete_total", s.handleDBWrite(true)))
+	mux.HandleFunc("GET /v1/db/info", s.handleDBInfo)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -123,6 +158,19 @@ func New(opt Options) *Server {
 	}
 	s.handler = s.recoverPanics(mux)
 	return s
+}
+
+// attach wires one store into the server: its writes invalidate the
+// engine's result cache (the hook runs under the store's writer lock, so
+// ApplyWrite sees versions in order) and feed the store metrics. Each
+// effective mutation is one WAL record.
+func (s *Server) attach(name string, st *store.Store) {
+	s.reg.Gauge("snapshot_version").Max(int64(st.Version()))
+	st.SetOnApply(func(c store.Change) {
+		s.eng.ApplyWrite(name, c.Version, c.Rels)
+		s.reg.Counter("wal_records").Add(uint64(c.Applied))
+		s.reg.Gauge("snapshot_version").Max(int64(c.Version))
+	})
 }
 
 // Handler returns the fully middleware-wrapped handler.

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cqa/internal/parse"
+	"cqa/internal/store"
+)
+
+// The mutable-database API: named databases live in versioned stores
+// (internal/store) — writers bump a version, readers answer on immutable
+// snapshots, and every write flows through the store's WAL when the
+// daemon runs with a data directory. See docs/STORE.md.
+
+// handleDBCreate answers POST /v1/db/create: a new named store, durable
+// when the server's set has a data directory, optionally seeded with
+// inline facts.
+func (s *Server) handleDBCreate(w http.ResponseWriter, r *http.Request) {
+	var req DBCreateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if req.Name == "" {
+		s.writeError(w, http.StatusBadRequest, "missing_name", "request lacks a database name")
+		return
+	}
+	// Parse before creating so a bad seed does not leave an empty store.
+	seed, err := parse.Database(req.Facts)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+		return
+	}
+	st, err := s.stores.Create(req.Name)
+	switch {
+	case errors.Is(err, store.ErrExists):
+		s.writeError(w, http.StatusConflict, "database_exists",
+			fmt.Sprintf("database %q already exists", req.Name))
+		return
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "bad_name", err.Error())
+		return
+	}
+	s.attach(req.Name, st)
+	if _, err := st.ApplyDB(seed); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "write_failed", err.Error())
+		return
+	}
+	snap := st.Snapshot()
+	s.writeJSON(w, http.StatusOK, DBWriteResponse{
+		Database: req.Name,
+		Version:  snap.Version,
+		Applied:  seed.Size(),
+	})
+}
+
+// handleDBWrite returns the handler for POST /v1/db/insert (del=false)
+// or /v1/db/delete (del=true): one atomic batch of facts applied to a
+// named store. The whole batch is one version bump; no-op facts
+// (duplicate inserts, absent deletes) are filtered and do not bump.
+func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req DBWriteRequest
+		if err := decodeJSON(r.Body, &req); err != nil {
+			s.writeDecodeError(w, err)
+			return
+		}
+		if req.Database == "" {
+			s.writeError(w, http.StatusBadRequest, "missing_database", "request lacks a database name")
+			return
+		}
+		st := s.stores.Get(req.Database)
+		if st == nil {
+			s.writeError(w, http.StatusNotFound, "unknown_database",
+				fmt.Sprintf("no database named %q", req.Database))
+			return
+		}
+		batch, err := parse.Database(req.Facts)
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			return
+		}
+		var change store.Change
+		if del {
+			change, err = st.DeleteDB(batch)
+		} else {
+			change, err = st.ApplyDB(batch)
+		}
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "write_failed", err.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusOK, DBWriteResponse{
+			Database: req.Database,
+			Version:  st.Version(),
+			Applied:  change.Applied,
+			Touched:  change.Rels,
+		})
+	}
+}
+
+// handleDBInfo answers GET /v1/db/info: every named database with its
+// current version, size, relations, and durability counters — all read
+// from one consistent snapshot per store.
+func (s *Server) handleDBInfo(w http.ResponseWriter, r *http.Request) {
+	names := s.stores.Names()
+	resp := DBInfoResponse{Databases: make([]DBInfo, 0, len(names))}
+	for _, name := range names {
+		st := s.stores.Get(name)
+		if st == nil { // deleted between Names and Get; nothing to report
+			continue
+		}
+		snap := st.Snapshot()
+		stats := st.Stats()
+		resp.Databases = append(resp.Databases, DBInfo{
+			Name:              name,
+			Version:           snap.Version,
+			Facts:             snap.DB.Size(),
+			Relations:         snap.DB.RelationNames(),
+			Durable:           st.Durable(),
+			WALRecords:        stats.WALRecords,
+			SegmentRecords:    stats.SegmentRecords,
+			CheckpointVersion: stats.CheckpointVersion,
+			Checkpoints:       stats.Checkpoints,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

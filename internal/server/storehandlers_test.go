@@ -1,0 +1,184 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"cqa/internal/store"
+)
+
+func TestDBCreateInsertDeleteInfo(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp := postJSON(t, ts.URL+"/v1/db/create", DBCreateRequest{Name: "orders", Facts: "O(a | 1)\nO(b | 2)\n"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	cr := decodeBody[DBWriteResponse](t, resp)
+	if cr.Database != "orders" || cr.Applied != 2 {
+		t.Fatalf("create response: %+v", cr)
+	}
+
+	// Duplicate create conflicts; bad names are rejected.
+	resp = postJSON(t, ts.URL+"/v1/db/create", DBCreateRequest{Name: "orders"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create status = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/db/create", DBCreateRequest{Name: "../evil"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad name status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An insert bumps the version and reports what it touched; the no-op
+	// part of the batch is filtered.
+	resp = postJSON(t, ts.URL+"/v1/db/insert", DBWriteRequest{Database: "orders", Facts: "O(a | 1)\nO(c | 3)\n"})
+	wr := decodeBody[DBWriteResponse](t, resp)
+	if wr.Applied != 1 || len(wr.Touched) != 1 || wr.Touched[0] != "O" {
+		t.Fatalf("insert response: %+v", wr)
+	}
+
+	// The new database answers /v1/certain with version and cache state.
+	resp = postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "O(x | y)", Database: "orders"})
+	ans := decodeBody[CertainResponse](t, resp)
+	if !ans.Certain || ans.Version != wr.Version || ans.Cached == nil || *ans.Cached {
+		t.Fatalf("first certain: %+v", ans)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/db/delete", DBWriteRequest{Database: "orders", Facts: "O(a | 1)\nO(b | 2)\nO(c | 3)\n"})
+	wr = decodeBody[DBWriteResponse](t, resp)
+	if wr.Applied != 3 {
+		t.Fatalf("delete response: %+v", wr)
+	}
+	resp = postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "O(x | y)", Database: "orders"})
+	ans = decodeBody[CertainResponse](t, resp)
+	if ans.Certain {
+		t.Fatalf("empty O should not be certain: %+v", ans)
+	}
+
+	// Writes to a database that does not exist are 404.
+	resp = postJSON(t, ts.URL+"/v1/db/insert", DBWriteRequest{Database: "ghost", Facts: "O(a | 1)"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown db insert status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Info lists both the preloaded and the created database.
+	resp, err := http.Get(ts.URL + "/v1/db/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody[DBInfoResponse](t, resp)
+	byName := make(map[string]DBInfo)
+	for _, d := range info.Databases {
+		byName[d.Name] = d
+	}
+	if len(byName) != 2 {
+		t.Fatalf("info databases: %+v", info.Databases)
+	}
+	if p := byName["people"]; p.Facts != 2 || p.Durable {
+		t.Errorf("people info: %+v", p)
+	}
+	if o := byName["orders"]; o.Facts != 0 || o.Version != wr.Version || o.Durable {
+		t.Errorf("orders info: %+v", o)
+	}
+}
+
+// The acceptance criterion end to end over HTTP: a write to a relation
+// the query does not mention keeps the answer cached; a write to a
+// mentioned relation invalidates it and the recomputed answer reflects
+// the new facts.
+func TestResultCacheInvalidationOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	mustCreate(t, ts.URL, DBCreateRequest{Name: "d", Facts: "R(a | 1)\nS(z | z)\nT(z | z)\n"})
+
+	askCached := func(wantCertain bool) bool {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{Query: "R(x | y), !S(y | x)", Database: "d"})
+		ans := decodeBody[CertainResponse](t, resp)
+		if ans.Certain != wantCertain {
+			t.Fatalf("certain = %v, want %v (version %d)", ans.Certain, wantCertain, ans.Version)
+		}
+		if ans.Cached == nil {
+			t.Fatal("named-db response lacks cached field")
+		}
+		return *ans.Cached
+	}
+
+	if askCached(true) {
+		t.Fatal("first ask must be a miss")
+	}
+	if !askCached(true) {
+		t.Fatal("repeat ask must be a hit")
+	}
+	// T is not mentioned by the query: the version moves, the cache holds.
+	postJSON(t, ts.URL+"/v1/db/insert", DBWriteRequest{Database: "d", Facts: "T(new | fact)"}).Body.Close()
+	if !askCached(true) {
+		t.Fatal("write to unmentioned relation must keep the cache hit")
+	}
+	// S(1|a) blocks the only witness R(a|1): the answer itself flips.
+	postJSON(t, ts.URL+"/v1/db/insert", DBWriteRequest{Database: "d", Facts: "S(1 | a)"}).Body.Close()
+	if askCached(false) {
+		t.Fatal("write to mentioned relation must be a miss")
+	}
+}
+
+// A server handed a durable store set persists HTTP writes across a
+// restart of the whole stack.
+func TestDurableStoresSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	set, err := store.OpenSet(store.Options{Dir: dir, Sync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Stores: set})
+	mustCreate(t, ts.URL, DBCreateRequest{Name: "k", Facts: "R(a | 1)"})
+	postJSON(t, ts.URL+"/v1/db/insert", DBWriteRequest{Database: "k", Facts: "R(b | 2)"}).Body.Close()
+	ts.Close()
+	if err := set.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "k.*")); len(m) == 0 {
+		t.Fatal("no k.wal/k.snap files on disk after close")
+	}
+
+	set2, err := store.OpenSet(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.CloseAll()
+	_, ts2 := newTestServer(t, Options{Stores: set2})
+	resp := postJSON(t, ts2.URL+"/v1/certain", CertainRequest{Query: "R(x | y)", Database: "k"})
+	ans := decodeBody[CertainResponse](t, resp)
+	if !ans.Certain {
+		t.Fatal("facts written before restart must survive")
+	}
+	resp, err = http.Get(ts2.URL + "/v1/db/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decodeBody[DBInfoResponse](t, resp)
+	found := false
+	for _, d := range info.Databases {
+		if d.Name == "k" {
+			found = true
+			if !d.Durable || d.Facts != 2 {
+				t.Errorf("recovered info: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("database k not listed after restart")
+	}
+}
+
+func mustCreate(t *testing.T, base string, req DBCreateRequest) {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/db/create", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("creating %s: status %d", req.Name, resp.StatusCode)
+	}
+}

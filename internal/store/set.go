@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrExists is returned by Set.Create for a name already in use.
+var ErrExists = errors.New("store: database already exists")
+
+// Set is a named collection of stores sharing one data directory and
+// one Options. The daemon owns a Set: durable stores are discovered in
+// (and created under) Options.Dir, while preloaded read-mostly
+// databases can be adopted as memory-only members. Safe for concurrent
+// use.
+type Set struct {
+	opt Options
+
+	mu     sync.Mutex
+	stores map[string]*Store
+}
+
+// OpenSet opens every store found in opt.Dir (any basename with a .wal
+// or .snap file). With opt.Dir == "" the set starts empty and Create
+// makes memory-only stores.
+func OpenSet(opt Options) (*Set, error) {
+	set := &Set{opt: opt, stores: make(map[string]*Store)}
+	if opt.Dir == "" {
+		return set, nil
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		switch {
+		case strings.HasSuffix(n, ".wal"):
+			names[strings.TrimSuffix(n, ".wal")] = true
+		case strings.HasSuffix(n, ".snap"):
+			names[strings.TrimSuffix(n, ".snap")] = true
+		}
+	}
+	for n := range names {
+		st, err := Open(n, opt)
+		if err != nil {
+			set.CloseAll()
+			return nil, fmt.Errorf("store: opening %s: %w", n, err)
+		}
+		set.stores[n] = st
+	}
+	return set, nil
+}
+
+// Get returns the named store, or nil.
+func (s *Set) Get(name string) *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stores[name]
+}
+
+// Names returns the member names, sorted.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.stores))
+	for n := range s.stores {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Create opens a fresh store under the set's options (durable when the
+// set has a data directory). It fails with ErrExists for a taken name.
+func (s *Set) Create(name string) (*Store, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stores[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	st, err := Open(name, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	s.stores[name] = st
+	return st, nil
+}
+
+// Adopt adds an existing store (typically a NewMem wrapping a preloaded
+// database) under its own name. It fails with ErrExists for a taken
+// name.
+func (s *Set) Adopt(st *Store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stores[st.Name()]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, st.Name())
+	}
+	s.stores[st.Name()] = st
+	return nil
+}
+
+// CloseAll closes every member, returning the first error.
+func (s *Set) CloseAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, st := range s.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,484 @@
+// Package store is the mutable, versioned fact store underneath the
+// serving stack. It wraps internal/db with three capabilities the
+// immutable preloaded databases of the daemon lack:
+//
+//   - Copy-on-write snapshots: writers bump a monotonic version and
+//     publish a fresh immutable *db.Database view; readers take the
+//     current snapshot with one atomic load and evaluate against it for
+//     as long as they like, never blocking a writer and never observing
+//     a torn write. A write deep-copies only the relations it touches —
+//     untouched relations are shared between consecutive versions.
+//
+//   - Durability: every acknowledged mutation is first appended to a
+//     CRC-framed write-ahead log, with periodic full-snapshot
+//     checkpoints. Recovery replays the checkpoint plus the WAL records
+//     it does not cover, truncating a torn tail (the partial record a
+//     crash mid-append leaves behind) instead of failing.
+//
+//   - Block-level dirty tracking: every write reports the relations and
+//     blocks (maximal key-equal groups — the paper's unit of
+//     inconsistency) it touched, feeding the engine's incremental
+//     result-cache invalidation: a write can only change CERTAINTY(q)
+//     answers for queries that mention a touched relation.
+//
+// See docs/STORE.md for the record format and recovery semantics.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cqa/internal/db"
+)
+
+// ErrClosed is returned by mutations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// DefaultCheckpointEvery is the WAL record count between automatic
+// checkpoints when Options.CheckpointEvery ≤ 0.
+const DefaultCheckpointEvery = 1024
+
+// Options configures a store.
+type Options struct {
+	// Dir is the data directory; "" selects a memory-only store (no
+	// durability, same snapshot and versioning semantics).
+	Dir string
+	// CheckpointEvery is the number of WAL records after which the store
+	// checkpoints and truncates the log; ≤ 0 selects
+	// DefaultCheckpointEvery.
+	CheckpointEvery int
+	// Sync fsyncs the WAL after every acknowledged batch. Off, a crash
+	// can lose writes still in the OS page cache (but never corrupt:
+	// replay stops at the torn tail either way).
+	Sync bool
+}
+
+// Snapshot is one immutable version of the database. DB must not be
+// mutated by callers; it remains valid (and consistent) forever, even
+// as the store moves on.
+type Snapshot struct {
+	DB      *db.Database
+	Version uint64
+}
+
+// BlockRef names one touched block: a relation and the key values of a
+// maximal key-equal group.
+type BlockRef struct {
+	Rel string
+	Key []string
+}
+
+// Change describes one acknowledged write batch.
+type Change struct {
+	// Version is the store version after the write; when Applied is 0
+	// the batch was a no-op and Version is unchanged.
+	Version uint64
+	// Applied counts the mutations that took effect (duplicate inserts,
+	// absent deletes, and re-declarations are filtered out).
+	Applied int
+	// Rels are the relations touched, sorted. Result-cache invalidation
+	// keys off this set: queries not mentioning any touched relation
+	// keep their cached answers.
+	Rels []string
+	// Blocks are the blocks touched, in application order.
+	Blocks []BlockRef
+}
+
+// Stats is a point-in-time view of a store's counters.
+type Stats struct {
+	Version           uint64 // current published version
+	CheckpointVersion uint64 // version of the last checkpoint (0 = none)
+	Checkpoints       uint64 // checkpoints written since open
+	WALRecords        uint64 // records appended since open
+	RecoveredRecords  uint64 // WAL records replayed at open
+	SegmentRecords    uint64 // records in the current WAL segment
+}
+
+// Store is a mutable, versioned fact database. Any number of goroutines
+// may take and read snapshots concurrently; mutations are serialized
+// internally and safe to issue from any goroutine.
+type Store struct {
+	name string
+	opt  Options
+
+	mu      sync.Mutex // serializes writers, checkpoints, Close
+	wal     *os.File   // nil for memory-only stores
+	closed  bool
+	onApply func(Change)
+
+	cur atomic.Pointer[Snapshot]
+
+	segRecords  uint64 // records in the current WAL segment
+	walRecords  atomic.Uint64
+	recovered   uint64
+	checkpoints atomic.Uint64
+	checkpointV atomic.Uint64
+}
+
+// NewMem returns a memory-only store adopting base (nil selects an
+// empty database) as its version-0 snapshot. The caller must not mutate
+// base afterwards.
+func NewMem(name string, base *db.Database) *Store {
+	if base == nil {
+		base = db.New()
+	}
+	s := &Store{name: name}
+	s.cur.Store(&Snapshot{DB: base, Version: 0})
+	return s
+}
+
+// Open opens (or creates) the durable store named name under opt.Dir,
+// recovering from the checkpoint and WAL left by a previous process.
+// A torn WAL tail is truncated; everything acknowledged before it is
+// recovered exactly. With opt.Dir == "" Open degenerates to NewMem.
+func Open(name string, opt Options) (*Store, error) {
+	if opt.CheckpointEvery <= 0 {
+		opt.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opt.Dir == "" {
+		s := NewMem(name, nil)
+		s.opt = opt
+		return s, nil
+	}
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{name: name, opt: opt}
+
+	base := db.New()
+	var version uint64
+	if d, v, err := readSnapshotFile(s.snapPath()); err == nil {
+		base, version = d, v
+		s.checkpointV.Store(v)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	walPath := s.walPath()
+	if data, err := os.ReadFile(walPath); err == nil {
+		recs, valid, _ := readRecords(data)
+		if valid < len(data) {
+			// Torn or corrupt tail: keep the acknowledged prefix.
+			if err := os.Truncate(walPath, int64(valid)); err != nil {
+				return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+			}
+		}
+		// Skip only records the checkpoint already covers (a crash
+		// between checkpoint write and WAL truncation leaves them
+		// behind). A batch spans several records sharing one version, so
+		// the cutoff must be the checkpoint version, not the running
+		// replay version.
+		ckpt := version
+		for _, rec := range recs {
+			s.segRecords++
+			if rec.version <= ckpt {
+				continue
+			}
+			if err := applyOp(base, rec.op); err != nil {
+				return nil, fmt.Errorf("store: replaying WAL for %s: %w", name, err)
+			}
+			if rec.version > version {
+				version = rec.version
+			}
+		}
+		s.recovered = uint64(len(recs))
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = f
+	s.cur.Store(&Snapshot{DB: base, Version: version})
+	return s, nil
+}
+
+func (s *Store) walPath() string  { return filepath.Join(s.opt.Dir, s.name+".wal") }
+func (s *Store) snapPath() string { return filepath.Join(s.opt.Dir, s.name+".snap") }
+
+// validName restricts store names to filesystem- and URL-safe tokens.
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("store: invalid name %q", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.':
+		default:
+			return fmt.Errorf("store: invalid name %q (want [A-Za-z0-9._-]+)", name)
+		}
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("store: invalid name %q (must not start with a dot)", name)
+	}
+	return nil
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Durable reports whether writes are persisted (the store was opened
+// with a data directory, as opposed to NewMem).
+func (s *Store) Durable() bool { return s.opt.Dir != "" }
+
+// Snapshot returns the current immutable snapshot with one atomic load;
+// it never blocks, not even against an in-flight writer.
+func (s *Store) Snapshot() Snapshot { return *s.cur.Load() }
+
+// Version returns the current published version.
+func (s *Store) Version() uint64 { return s.cur.Load().Version }
+
+// SetOnApply registers fn to run after every effective write, while the
+// writer lock is still held — callbacks therefore observe changes in
+// version order, which the engine's result-cache invalidation depends
+// on. fn must not call back into the store's mutation API.
+func (s *Store) SetOnApply(fn func(Change)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onApply = fn
+}
+
+// Declare registers a relation with signature [arity, key].
+func (s *Store) Declare(name string, arity, key int) (Change, error) {
+	return s.apply([]walOp{{kind: opDeclare, rel: name, arity: arity, key: key}})
+}
+
+// Insert adds facts as one atomic batch (one version bump).
+func (s *Store) Insert(facts ...db.Fact) (Change, error) {
+	ops := make([]walOp, len(facts))
+	for i, f := range facts {
+		ops[i] = walOp{kind: opInsert, rel: f.Rel, args: f.Args}
+	}
+	return s.apply(ops)
+}
+
+// Delete removes facts as one atomic batch.
+func (s *Store) Delete(facts ...db.Fact) (Change, error) {
+	ops := make([]walOp, len(facts))
+	for i, f := range facts {
+		ops[i] = walOp{kind: opDelete, rel: f.Rel, args: f.Args}
+	}
+	return s.apply(ops)
+}
+
+// ApplyDB declares every relation of src and inserts every fact, as one
+// atomic batch. It is the bridge from parsed fact text (parse.Database)
+// to store mutations.
+func (s *Store) ApplyDB(src *db.Database) (Change, error) {
+	var ops []walOp
+	for _, name := range src.RelationNames() {
+		r := src.Relation(name)
+		ops = append(ops, walOp{kind: opDeclare, rel: name, arity: r.Arity, key: r.Key})
+		for _, f := range src.Facts(name) {
+			ops = append(ops, walOp{kind: opInsert, rel: name, args: f.Args})
+		}
+	}
+	return s.apply(ops)
+}
+
+// DeleteDB removes every fact of src (declarations are ignored), as one
+// atomic batch.
+func (s *Store) DeleteDB(src *db.Database) (Change, error) {
+	var ops []walOp
+	for _, name := range src.RelationNames() {
+		for _, f := range src.Facts(name) {
+			ops = append(ops, walOp{kind: opDelete, rel: name, args: f.Args})
+		}
+	}
+	return s.apply(ops)
+}
+
+// apply validates, filters, logs, and publishes one batch.
+func (s *Store) apply(ops []walOp) (Change, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Change{}, ErrClosed
+	}
+	cur := s.cur.Load()
+
+	// Copy-on-write: deep-copy exactly the relations this batch names;
+	// everything else is shared with the previous snapshot.
+	touched := make(map[string]bool)
+	for _, o := range ops {
+		touched[o.rel] = true
+	}
+	rels := make([]string, 0, len(touched))
+	for r := range touched {
+		rels = append(rels, r)
+	}
+	next := cur.DB.CloneCOW(rels...)
+
+	version := cur.Version + 1
+	var change Change
+	var logged []byte
+	relSet := make(map[string]bool)
+	for _, o := range ops {
+		effective, block, err := applyEffective(next, o)
+		if err != nil {
+			return Change{}, err // nothing published, nothing logged
+		}
+		if !effective {
+			continue
+		}
+		change.Applied++
+		relSet[o.rel] = true
+		if block != nil {
+			change.Blocks = append(change.Blocks, BlockRef{Rel: o.rel, Key: block})
+		}
+		if s.wal != nil {
+			logged = append(logged, encodeRecord(walRec{version: version, op: o})...)
+		}
+	}
+	if change.Applied == 0 {
+		return Change{Version: cur.Version}, nil
+	}
+	for r := range relSet {
+		change.Rels = append(change.Rels, r)
+	}
+	sort.Strings(change.Rels)
+	change.Version = version
+
+	if s.wal != nil {
+		if _, err := s.wal.Write(logged); err != nil {
+			// The log may now hold a partial batch; refuse further writes
+			// rather than risk acknowledged state diverging from the log.
+			s.closed = true
+			return Change{}, fmt.Errorf("store: WAL append failed, store closed: %w", err)
+		}
+		if s.opt.Sync {
+			if err := s.wal.Sync(); err != nil {
+				s.closed = true
+				return Change{}, fmt.Errorf("store: WAL sync failed, store closed: %w", err)
+			}
+		}
+		n := uint64(change.Applied)
+		s.segRecords += n
+		s.walRecords.Add(n)
+	}
+
+	s.cur.Store(&Snapshot{DB: next, Version: version})
+	if s.onApply != nil {
+		s.onApply(change)
+	}
+	if s.wal != nil && s.segRecords >= uint64(s.opt.CheckpointEvery) {
+		if err := s.checkpointLocked(); err != nil {
+			return change, fmt.Errorf("store: checkpoint failed (write applied): %w", err)
+		}
+	}
+	return change, nil
+}
+
+// applyEffective applies one op to next, reporting whether it changed
+// anything and, for fact ops, the touched block's key values.
+func applyEffective(next *db.Database, o walOp) (bool, []string, error) {
+	switch o.kind {
+	case opDeclare:
+		if next.Relation(o.rel) != nil {
+			// Existing relation: DeclareRelation checks signature agreement.
+			return false, nil, next.DeclareRelation(o.rel, o.arity, o.key)
+		}
+		return true, nil, next.DeclareRelation(o.rel, o.arity, o.key)
+	case opInsert:
+		f := db.Fact{Rel: o.rel, Args: o.args}
+		if next.Has(f) {
+			return false, nil, nil
+		}
+		if err := next.Insert(f); err != nil {
+			return false, nil, err
+		}
+		r := next.Relation(o.rel)
+		return true, o.args[:r.Key], nil
+	case opDelete:
+		f := db.Fact{Rel: o.rel, Args: o.args}
+		if !next.Has(f) {
+			return false, nil, nil
+		}
+		r := next.Relation(o.rel)
+		next.Remove(f)
+		return true, o.args[:r.Key], nil
+	default:
+		return false, nil, fmt.Errorf("store: unknown op kind %d", o.kind)
+	}
+}
+
+// Checkpoint forces a snapshot checkpoint and WAL truncation now. It is
+// a no-op for memory-only stores.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	cur := s.cur.Load()
+	if err := writeSnapshotFile(s.snapPath(), cur.DB, cur.Version); err != nil {
+		return err
+	}
+	// Only after the checkpoint is durably in place may the log shrink.
+	// A crash in between double-covers some records; replay's version
+	// filter (and op idempotence) makes that harmless.
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	s.segRecords = 0
+	s.checkpoints.Add(1)
+	s.checkpointV.Store(cur.Version)
+	return nil
+}
+
+// Close checkpoints (when durable and the segment is non-empty) and
+// releases the WAL. Snapshots already taken remain readable; mutations
+// fail with ErrClosed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	if s.segRecords > 0 {
+		err = s.checkpointLocked()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	cur := s.cur.Load()
+	s.mu.Lock()
+	seg := s.segRecords
+	s.mu.Unlock()
+	return Stats{
+		Version:           cur.Version,
+		CheckpointVersion: s.checkpointV.Load(),
+		Checkpoints:       s.checkpoints.Load(),
+		WALRecords:        s.walRecords.Load(),
+		RecoveredRecords:  s.recovered,
+		SegmentRecords:    seg,
+	}
+}
