@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench experiments serve-smoke store-smoke clean
+.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke clean
 
-check: vet test race fuzz bench
+check: vet test race fuzz bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSQLExec -fuzztime $(FUZZTIME) ./internal/sqlexec
 	$(GO) test -run '^$$' -fuzz FuzzServerCertainRequest -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzCompiledEval -fuzztime $(FUZZTIME) ./internal/fo
 
 # One iteration per benchmark: compiles and exercises every benchmark
 # body without waiting for stable timings.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Compiled-vs-interpreted evaluation smoke: runs the E-series rewriting
+# workloads at tiny sizes, regenerates BENCH_eval.json, and fails if the
+# compiled evaluator is slower than the tree walker on the largest smoke
+# instance (the gate lives in certbench's -bench-out mode).
+bench-smoke:
+	$(GO) run ./cmd/certbench -bench-out BENCH_eval.json -quick
 
 experiments:
 	$(GO) run ./cmd/certbench -quick

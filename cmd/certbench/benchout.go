@@ -1,0 +1,148 @@
+// BENCH_eval.json emission: the -bench-out flag runs the compiled-vs-
+// interpreted evaluation comparison on the E-series rewriting workload
+// and writes one JSON record per (query, size, engine) so the repo's
+// bench trajectory is diffable across PRs. The record set (queries,
+// sizes, engines, field order) is deterministic; the timings are
+// whatever the host measures. The run fails — non-zero exit — if the
+// compiled evaluator is slower than the tree walker on the largest
+// instance, which is the `make bench-smoke` regression gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/parse"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+type benchEntry struct {
+	Experiment  string `json:"experiment"`
+	Query       string `json:"query"`
+	Blocks      int    `json:"blocks"`
+	Facts       int    `json:"facts"`
+	Engine      string `json:"engine"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchQueries are the E-series rewriting workloads measured by
+// -bench-out: the E7 scaling query and a guarded negation pair.
+var benchQueries = []string{
+	"Lives(p | t), !Born(p | t), !Likes(p, t)",
+	"R0(x0 | x1), R1(x1 | x2), R2(x2 | x3), !N(x0 | x1)",
+}
+
+func benchSizes(quick bool) []int {
+	if quick {
+		return []int{4, 16, 64}
+	}
+	return []int{64, 256, 1024}
+}
+
+func runBenchOut(path string, quick bool) error {
+	var entries []benchEntry
+	type largest struct{ tree, compiled int64 }
+	var last largest
+	for _, src := range benchQueries {
+		q := parse.MustQuery(src)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			return fmt.Errorf("bench-out: %s has no rewriting: %v", src, err)
+		}
+		prog, err := fo.Compile(f)
+		if err != nil {
+			return fmt.Errorf("bench-out: compile %s: %v", src, err)
+		}
+		for _, blocks := range benchSizes(quick) {
+			rng := rand.New(rand.NewSource(int64(blocks)))
+			opt := gen.DBOptions{BlocksPerRelation: blocks, MaxBlockSize: 2,
+				DomainPerVariable: blocks, ConstantBias: 0.7}
+			d := gen.Database(rng, q, opt)
+			declareAll(d, q)
+			want := fo.Eval(d, f)
+			bound := prog.Bind(d.Interned())
+			if bound.Eval() != want || bound.EvalParallel(0, 1) != want {
+				return fmt.Errorf("bench-out: compiled disagrees with tree walker on %s blocks=%d", src, blocks)
+			}
+			runs := []struct {
+				engine string
+				body   func()
+			}{
+				{"tree-walk", func() { fo.Eval(d, f) }},
+				{"compiled", func() { bound.Eval() }},
+				{"compiled-parallel", func() { bound.EvalParallel(0, 0) }},
+			}
+			for _, r := range runs {
+				body := r.body
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						body()
+					}
+				})
+				e := benchEntry{
+					Experiment:  "E15",
+					Query:       src,
+					Blocks:      blocks,
+					Facts:       d.Size(),
+					Engine:      r.engine,
+					NsPerOp:     res.NsPerOp(),
+					AllocsPerOp: res.AllocsPerOp(),
+					BytesPerOp:  res.AllocedBytesPerOp(),
+				}
+				entries = append(entries, e)
+				fmt.Printf("  %-45s blocks=%-5d %-17s %10d ns/op %6d allocs/op\n",
+					src, blocks, r.engine, e.NsPerOp, e.AllocsPerOp)
+				switch r.engine {
+				case "tree-walk":
+					last.tree = e.NsPerOp
+				case "compiled":
+					last.compiled = e.NsPerOp
+				}
+			}
+		}
+	}
+	if last.compiled > last.tree {
+		return fmt.Errorf("bench-out: compiled (%d ns/op) slower than tree walker (%d ns/op) on the largest instance",
+			last.compiled, last.tree)
+	}
+	fmt.Printf("  largest instance: compiled %d ns/op vs tree-walk %d ns/op (%.1fx)\n",
+		last.compiled, last.tree, float64(last.tree)/float64(max64(last.compiled, 1)))
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %d entries to %s\n", len(entries), path)
+	return nil
+}
+
+// declareAll mirrors core.withQueryRels for the tree-walk measurements:
+// the compiled path treats undeclared relations as empty, the tree
+// walker needs them declared.
+func declareAll(d *db.Database, q schema.Query) {
+	for _, a := range q.Atoms() {
+		if d.Relation(a.Rel) == nil {
+			d.MustDeclare(a.Rel, a.Arity(), a.Key)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

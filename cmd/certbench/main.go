@@ -40,7 +40,16 @@ var experiments = []struct {
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := flag.Bool("quick", false, "smaller instances for a fast smoke run")
+	benchOut := flag.String("bench-out", "", "measure compiled vs interpreted evaluation and write BENCH JSON to this path (skips the experiment suite)")
 	flag.Parse()
+
+	if *benchOut != "" {
+		fmt.Println("==== bench-out: compiled vs interpreted evaluation ====")
+		if err := runBenchOut(*benchOut, *quick); err != nil {
+			log.Fatalf("bench-out FAILED: %v", err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *runFlag != "" {

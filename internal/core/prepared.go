@@ -2,31 +2,59 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cqa/internal/db"
 	"cqa/internal/direct"
+	"cqa/internal/fo"
 	"cqa/internal/naive"
 	"cqa/internal/schema"
 )
 
+// maxBoundCache bounds the per-plan cache of compiled programs linked
+// against interned databases. Serving workloads hit a handful of
+// databases per query; the cache is evicted arbitrarily beyond that.
+const maxBoundCache = 16
+
 // Prepared is a query analysed once and evaluated many times: the
-// classification (attack graph, verdict) and, when available, the
-// consistent first-order rewriting are computed by Prepare and reused by
-// every Certain call. This is the intended API for serving workloads —
-// Classify+Certain per request would redo the query-complexity work,
-// which is exponential in the query size in the worst case (the rewriting
-// can be exponentially large) although polynomial per database.
+// classification (attack graph, verdict), the consistent first-order
+// rewriting, and the compiled form of that rewriting (slot-based
+// environments, interned constants, index-driven quantifier restriction;
+// see docs/EVAL.md) are computed by Prepare and reused by every Certain
+// call. This is the intended API for serving workloads — Classify+Certain
+// per request would redo the query-complexity work, which is exponential
+// in the query size in the worst case (the rewriting can be exponentially
+// large) although polynomial per database.
 type Prepared struct {
 	cls *Classification
+	// prog is the compiled rewriting (FO verdicts only).
+	prog *fo.Program
+
+	// bounds caches the program linked against interned databases, so a
+	// hot (query, database-version) pair pays for constant resolution and
+	// candidate materialization once.
+	mu     sync.Mutex
+	bounds map[*db.Interned]*fo.Bound
 }
 
-// Prepare validates and classifies q.
+// Prepare validates, classifies, and — when CERTAINTY(q) is in FO —
+// compiles the rewriting.
 func Prepare(q schema.Query) (*Prepared, error) {
 	cls, err := Classify(q)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{cls: cls}, nil
+	p := &Prepared{cls: cls}
+	if cls.Verdict == VerdictFO {
+		prog, err := fo.Compile(cls.Rewriting)
+		if err != nil {
+			// Rewritings are sentences, so this is unreachable; fall back
+			// to the tree walker rather than failing the preparation.
+			prog = nil
+		}
+		p.prog = prog
+	}
+	return p, nil
 }
 
 // Classification exposes the analysis result.
@@ -35,9 +63,50 @@ func (p *Prepared) Classification() *Classification { return p.cls }
 // InFO reports whether CERTAINTY(q) is in FO (a rewriting is available).
 func (p *Prepared) InFO() bool { return p.cls.Verdict == VerdictFO }
 
-// Certain answers CERTAINTY(q) on d: via the precomputed rewriting when
-// the query is in FO, by repair enumeration otherwise.
+// bound returns the compiled rewriting linked against d's interned view,
+// consulting the per-plan cache first. Returns nil when no compiled
+// program is available.
+func (p *Prepared) bound(d *db.Database) *fo.Bound {
+	if p.prog == nil {
+		return nil
+	}
+	ix := d.Interned()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.bounds[ix]; ok {
+		return b
+	}
+	b := p.prog.Bind(ix)
+	if p.bounds == nil {
+		p.bounds = make(map[*db.Interned]*fo.Bound)
+	}
+	if len(p.bounds) >= maxBoundCache {
+		for k := range p.bounds {
+			delete(p.bounds, k)
+			break
+		}
+	}
+	p.bounds[ix] = b
+	return b
+}
+
+// Certain answers CERTAINTY(q) on d: via the compiled rewriting when the
+// query is in FO, by repair enumeration otherwise.
 func (p *Prepared) Certain(d *db.Database) bool {
+	if p.InFO() {
+		if b := p.bound(d); b != nil {
+			return b.Eval()
+		}
+		return evalOn(d, p.cls.Query, p.cls.Rewriting)
+	}
+	return naive.IsCertain(p.cls.Query, d)
+}
+
+// CertainTreeWalk answers like Certain but evaluates the rewriting with
+// the interpreting tree walker (fo.Eval) instead of the compiled program.
+// It exists as the reference oracle for differential tests and as an
+// operational escape hatch (engine.Options.ForceTreeWalk).
+func (p *Prepared) CertainTreeWalk(d *db.Database) bool {
 	if p.InFO() {
 		return evalOn(d, p.cls.Query, p.cls.Rewriting)
 	}
@@ -46,14 +115,17 @@ func (p *Prepared) Certain(d *db.Database) bool {
 
 // CertainParallel answers CERTAINTY(q) on d like Certain, but fans the
 // evaluation across up to workers goroutines: for FO queries the
-// top-level quantifier iteration of the rewriting is split over relation
-// blocks (when the candidate list reaches minCandidates values; ≤ 0
-// selects fo.DefaultMinParallelCandidates), for non-FO queries the repair
-// search is parallelized. workers ≤ 0 selects GOMAXPROCS. d must not be
-// mutated while the call runs; concurrent readers are fine (see
+// top-level quantifier iteration of the compiled rewriting is split over
+// candidate values (when the candidate list reaches minCandidates values;
+// ≤ 0 selects fo.DefaultMinParallelCandidates), for non-FO queries the
+// repair search is parallelized. workers ≤ 0 selects GOMAXPROCS. d must
+// not be mutated while the call runs; concurrent readers are fine (see
 // db.Database).
 func (p *Prepared) CertainParallel(d *db.Database, workers, minCandidates int) bool {
 	if p.InFO() {
+		if b := p.bound(d); b != nil {
+			return b.EvalParallel(workers, minCandidates)
+		}
 		return evalOnParallel(d, p.cls.Query, p.cls.Rewriting, workers, minCandidates)
 	}
 	return naive.IsCertainParallel(p.cls.Query, d, workers)
@@ -68,6 +140,9 @@ func (p *Prepared) CertainVia(d *db.Database, engine Engine) (bool, error) {
 	case EngineRewriting:
 		if !p.InFO() {
 			return false, ErrNoRewriting
+		}
+		if b := p.bound(d); b != nil {
+			return b.Eval(), nil
 		}
 		return evalOn(d, p.cls.Query, p.cls.Rewriting), nil
 	case EngineDirect:

@@ -54,12 +54,20 @@ type Relation struct {
 
 	facts  map[string]Fact   // full-tuple key -> fact
 	blocks map[string][]Fact // key-tuple key -> block, insertion order
-	// blockKeys is kept sorted so block iteration order is a function of
-	// the stored content alone — two databases holding the same facts
-	// iterate identically regardless of insert/remove history. The store
-	// layer depends on this: a database recovered from a checkpoint plus
-	// WAL replay must behave exactly like the one that wrote it.
+	// blockKeys holds the block keys in arbitrary (insertion) order;
+	// ordered readers go through sortedBlockKeys, which sorts a copy
+	// lazily and memoizes it, so bulk loads are linearithmic instead of
+	// quadratic (no per-insert insertion sort). Iteration order remains a
+	// function of the stored content alone — two databases holding the
+	// same facts iterate identically regardless of insert/remove history.
+	// The store layer depends on this: a database recovered from a
+	// checkpoint plus WAL replay must behave exactly like the one that
+	// wrote it.
 	blockKeys []string
+	// sortedBlocks memoizes the sorted copy of blockKeys between writes;
+	// once published a copy is immutable, so racing readers that rebuild
+	// it concurrently are safe.
+	sortedBlocks atomic.Pointer[[]string]
 	// colVals[i] maps each distinct value in column i to its reference
 	// count, so removals keep the index exact instead of monotonically
 	// stale.
@@ -89,6 +97,18 @@ func (r *Relation) NumBlocks() int { return len(r.blocks) }
 // AllKey reports whether the relation's signature is all-key.
 func (r *Relation) AllKey() bool { return r.Key == r.Arity }
 
+// sortedBlockKeys returns the block keys in sorted order, rebuilding the
+// memoized copy if a write invalidated it. Safe for concurrent readers.
+func (r *Relation) sortedBlockKeys() []string {
+	if p := r.sortedBlocks.Load(); p != nil {
+		return *p
+	}
+	out := append([]string(nil), r.blockKeys...)
+	sort.Strings(out)
+	r.sortedBlocks.Store(&out)
+	return out
+}
+
 // ColumnValues returns the distinct values in column i (0-based), sorted.
 func (r *Relation) ColumnValues(i int) []string {
 	out := make([]string, 0, len(r.colVals[i]))
@@ -112,11 +132,12 @@ type Database struct {
 	rels map[string]*Relation
 	// relNames preserves deterministic iteration order.
 	relNames []string
-	// adom and numRepairs memoize ActiveDomain and NumRepairs between
-	// writes; writers invalidate, racing readers may each recompute and
-	// publish (identical) values.
+	// adom, numRepairs, and interned memoize ActiveDomain, NumRepairs,
+	// and the dictionary-encoded view between writes; writers invalidate,
+	// racing readers may each recompute and publish (identical) values.
 	adom       atomic.Pointer[[]string]
 	numRepairs atomic.Pointer[float64]
+	interned   atomic.Pointer[Interned]
 }
 
 // New returns an empty database.
@@ -149,6 +170,7 @@ func (d *Database) DeclareRelation(name string, arity, key int) error {
 func (d *Database) invalidate() {
 	d.adom.Store(nil)
 	d.numRepairs.Store(nil)
+	d.interned.Store(nil)
 }
 
 // Relation returns the stored relation for the name, or nil if absent.
@@ -179,10 +201,8 @@ func (d *Database) Insert(f Fact) error {
 	r.facts[tk] = f
 	bk := tupleKey(f.Args[:r.Key])
 	if _, seen := r.blocks[bk]; !seen {
-		i := sort.SearchStrings(r.blockKeys, bk)
-		r.blockKeys = append(r.blockKeys, "")
-		copy(r.blockKeys[i+1:], r.blockKeys[i:])
-		r.blockKeys[i] = bk
+		r.blockKeys = append(r.blockKeys, bk)
+		r.sortedBlocks.Store(nil)
 	}
 	r.blocks[bk] = append(r.blocks[bk], f)
 	for i, v := range f.Args {
@@ -271,7 +291,7 @@ func (d *Database) Blocks(rel string, fn func(block []Fact) bool) {
 	if !ok {
 		return
 	}
-	for _, bk := range r.blockKeys {
+	for _, bk := range r.sortedBlockKeys() {
 		if !fn(r.blocks[bk]) {
 			return
 		}
@@ -337,6 +357,10 @@ func (r *Relation) clone() *Relation {
 		c.blocks[k] = append([]Fact(nil), b...)
 	}
 	c.blockKeys = append([]string(nil), r.blockKeys...)
+	// A published sorted copy is immutable, so the clone can share it.
+	if p := r.sortedBlocks.Load(); p != nil {
+		c.sortedBlocks.Store(p)
+	}
 	for i := range r.colVals {
 		for v, n := range r.colVals[i] {
 			c.colVals[i][v] = n
@@ -410,7 +434,7 @@ func (d *Database) Repairs(rels []string, fn func(repair *Database) bool) {
 			continue
 		}
 		repair.MustDeclare(name, r.Arity, r.Key)
-		for _, bk := range r.blockKeys {
+		for _, bk := range r.sortedBlockKeys() {
 			blocks = append(blocks, blockRef{rel: name, facts: r.blocks[bk]})
 		}
 	}
@@ -461,9 +485,13 @@ func (d *Database) remove(f Fact) {
 	}
 	if len(b) == 0 {
 		delete(r.blocks, bk)
-		if i := sort.SearchStrings(r.blockKeys, bk); i < len(r.blockKeys) && r.blockKeys[i] == bk {
-			r.blockKeys = append(r.blockKeys[:i], r.blockKeys[i+1:]...)
+		for i := range r.blockKeys {
+			if r.blockKeys[i] == bk {
+				r.blockKeys = append(r.blockKeys[:i], r.blockKeys[i+1:]...)
+				break
+			}
 		}
+		r.sortedBlocks.Store(nil)
 	} else {
 		r.blocks[bk] = b
 	}

@@ -1,0 +1,298 @@
+package db
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file implements the dictionary-encoded ("interned") read-only view
+// of a Database that the compiled first-order evaluator runs against. Every
+// constant is mapped to a dense int32 id, every relation gets an
+// open-addressing hash index over its interned tuples plus per-column
+// posting lists (the sorted distinct ids of each column), and the active
+// domain becomes a sorted []int32. See docs/EVAL.md.
+//
+// An Interned is immutable after construction and safe for unbounded
+// concurrent readers. Dictionaries are append-only and may be shared by
+// the Interned views of consecutive store versions (InternNext), so ids
+// are stable across versions: an index built for an untouched relation of
+// version v is reused verbatim by version v+1.
+
+// dict is an append-only mapping between constant strings and dense int32
+// ids. It may be shared by many Interned views; all access to the mutable
+// map/slice goes through the mutex. Ids once assigned are never reused,
+// so a value's id is identical in every version that knows it.
+type dict struct {
+	mu   sync.Mutex
+	ids  map[string]int32
+	vals []string
+}
+
+func newDict() *dict {
+	return &dict{ids: make(map[string]int32)}
+}
+
+// addAll interns every value in vs (sorted first for id determinism) and
+// returns the new dictionary size and a snapshot of the value table.
+func (dc *dict) addAll(vs []string) (int32, []string) {
+	sorted := append([]string(nil), vs...)
+	sort.Strings(sorted)
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	for _, v := range sorted {
+		if _, ok := dc.ids[v]; !ok {
+			dc.ids[v] = int32(len(dc.vals))
+			dc.vals = append(dc.vals, v)
+		}
+	}
+	return int32(len(dc.vals)), dc.vals
+}
+
+// lookup returns the id for v if the dictionary knows it.
+func (dc *dict) lookup(v string) (int32, bool) {
+	dc.mu.Lock()
+	id, ok := dc.ids[v]
+	dc.mu.Unlock()
+	return id, ok
+}
+
+// InternedRelation is the compiled-evaluator view of one relation: a flat
+// tuple array, an open-addressing hash set over the tuples, and per-column
+// posting lists. Read-only after construction.
+type InternedRelation struct {
+	src   *Relation // identity for cross-version reuse, never dereferenced after build
+	Arity int
+	Key   int
+
+	rows int
+	data []int32 // rows*Arity interned tuples, row-major
+	// table is an open-addressing hash table at load factor ≤ 0.5:
+	// entries are row+1, 0 means empty, mask = len(table)-1.
+	table []int32
+	mask  uint32
+
+	postings [][]int32 // per column: sorted distinct ids
+}
+
+// Rows returns the number of stored tuples.
+func (r *InternedRelation) Rows() int { return r.rows }
+
+// Posting returns the sorted distinct ids of column col. The caller must
+// not mutate the result.
+func (r *InternedRelation) Posting(col int) []int32 { return r.postings[col] }
+
+// hashTuple is FNV-1a over the int32 words of a tuple.
+func hashTuple(args []int32) uint32 {
+	h := uint32(2166136261)
+	for _, v := range args {
+		h ^= uint32(v)
+		h *= 16777619
+	}
+	return h
+}
+
+// Has reports whether the interned tuple args is a fact of the relation.
+// It performs no allocation.
+func (r *InternedRelation) Has(args []int32) bool {
+	if len(args) != r.Arity || r.rows == 0 {
+		return false
+	}
+	h := hashTuple(args) & r.mask
+	for {
+		e := r.table[h]
+		if e == 0 {
+			return false
+		}
+		row := r.data[int(e-1)*r.Arity : int(e)*r.Arity]
+		match := true
+		for i, v := range args {
+			if row[i] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+		h = (h + 1) & r.mask
+	}
+}
+
+func (r *InternedRelation) insert(rowIdx int) {
+	row := r.data[rowIdx*r.Arity : (rowIdx+1)*r.Arity]
+	h := hashTuple(row) & r.mask
+	for r.table[h] != 0 {
+		h = (h + 1) & r.mask
+	}
+	r.table[h] = int32(rowIdx + 1)
+}
+
+// Interned is an immutable dictionary-encoded view of a Database at one
+// point in time. It is safe for unbounded concurrent readers.
+type Interned struct {
+	dc *dict
+	// n and vals snapshot the dictionary at build time: every id used by
+	// this view is < n, and vals[:n] is stable even if the shared
+	// dictionary grows for later versions.
+	n    int32
+	vals []string
+
+	rels   map[string]*InternedRelation
+	domain []int32 // sorted ids occurring in the database
+}
+
+// Intern builds a fresh interned view of d with its own dictionary.
+// d must not be mutated while Intern runs.
+func Intern(d *Database) *Interned {
+	return internWith(newDict(), nil, d)
+}
+
+// InternNext builds the interned view of next reusing prev's dictionary
+// and, for every relation of next that is pointer-identical to the
+// relation prev was built from (the copy-on-write sharing of the store
+// layer), prev's index verbatim. Ids are stable across the chain, so a
+// reused index stays correct. next must not be mutated while InternNext
+// runs, and the shared relations must be immutable (the CloneCOW
+// contract).
+func InternNext(prev *Interned, next *Database) *Interned {
+	if prev == nil {
+		return Intern(next)
+	}
+	return internWith(prev.dc, prev, next)
+}
+
+func internWith(dc *dict, prev *Interned, d *Database) *Interned {
+	ix := &Interned{dc: dc, rels: make(map[string]*InternedRelation, len(d.rels))}
+
+	// Collect the values the dictionary does not know yet, in one pass,
+	// and intern them in sorted order so ids are deterministic for a
+	// given build history.
+	var fresh []string
+	seen := make(map[string]bool)
+	dc.mu.Lock()
+	for _, r := range d.rels {
+		for _, col := range r.colVals {
+			for v := range col {
+				if _, ok := dc.ids[v]; !ok && !seen[v] {
+					seen[v] = true
+					fresh = append(fresh, v)
+				}
+			}
+		}
+	}
+	dc.mu.Unlock()
+	ix.n, ix.vals = dc.addAll(fresh)
+
+	// Index every relation, reusing prev's indexes for shared relations.
+	for name, r := range d.rels {
+		if prev != nil {
+			if pr, ok := prev.rels[name]; ok && pr.src == r {
+				ix.rels[name] = pr
+				continue
+			}
+		}
+		ix.rels[name] = ix.buildRelation(r)
+	}
+
+	// Active domain: ids of every value occurring in some column.
+	domSet := make(map[int32]bool)
+	for _, ir := range ix.rels {
+		for _, p := range ir.postings {
+			for _, id := range p {
+				domSet[id] = true
+			}
+		}
+	}
+	ix.domain = make([]int32, 0, len(domSet))
+	for id := range domSet {
+		ix.domain = append(ix.domain, id)
+	}
+	sort.Slice(ix.domain, func(i, j int) bool { return ix.domain[i] < ix.domain[j] })
+	return ix
+}
+
+func (ix *Interned) buildRelation(r *Relation) *InternedRelation {
+	ir := &InternedRelation{src: r, Arity: r.Arity, Key: r.Key, rows: len(r.facts)}
+	ir.data = make([]int32, 0, ir.rows*r.Arity)
+	size := uint32(4)
+	for size < uint32(ir.rows)*2 {
+		size *= 2
+	}
+	ir.table = make([]int32, size)
+	ir.mask = size - 1
+	row := 0
+	for _, f := range r.facts {
+		for _, a := range f.Args {
+			id, _ := ix.dc.lookup(a)
+			ir.data = append(ir.data, id)
+		}
+		ir.insert(row)
+		row++
+	}
+	ir.postings = make([][]int32, r.Arity)
+	for i, col := range r.colVals {
+		p := make([]int32, 0, len(col))
+		for v := range col {
+			id, _ := ix.dc.lookup(v)
+			p = append(p, id)
+		}
+		sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+		ir.postings[i] = p
+	}
+	return ir
+}
+
+// NumIDs returns the dictionary size this view was built against; every
+// id stored in the view is < NumIDs. Synthetic ids handed out by the
+// compiler for constants outside the dictionary start at NumIDs.
+func (ix *Interned) NumIDs() int32 { return ix.n }
+
+// ID returns the id of a constant known to this view's dictionary
+// snapshot.
+func (ix *Interned) ID(v string) (int32, bool) {
+	id, ok := ix.dc.lookup(v)
+	if !ok || id >= ix.n {
+		return 0, false
+	}
+	return id, true
+}
+
+// Value returns the constant for an id of this view. Synthetic ids
+// (≥ NumIDs) have no stored value and return "".
+func (ix *Interned) Value(id int32) string {
+	if id < 0 || id >= ix.n {
+		return ""
+	}
+	return ix.vals[id]
+}
+
+// Relation returns the interned relation, or nil when the database does
+// not declare it (atoms over it are simply false).
+func (ix *Interned) Relation(name string) *InternedRelation { return ix.rels[name] }
+
+// DomainIDs returns the sorted ids of the database's active domain. The
+// caller must not mutate the result.
+func (ix *Interned) DomainIDs() []int32 { return ix.domain }
+
+// Interned returns the memoized interned view of the database, building
+// it on first use. The result is invalidated by any write; racing readers
+// may each build (identical) views, the last one published wins. The
+// returned view must be treated as immutable.
+func (d *Database) Interned() *Interned {
+	if p := d.interned.Load(); p != nil {
+		return p
+	}
+	ix := Intern(d)
+	d.interned.Store(ix)
+	return ix
+}
+
+// InternedIfBuilt returns the memoized interned view if one has been
+// built since the last write, else nil. The store layer uses it to decide
+// whether to chain dictionaries across versions.
+func (d *Database) InternedIfBuilt() *Interned { return d.interned.Load() }
+
+// SeedInterned installs a prebuilt interned view (from InternNext) as the
+// memoized view of d. ix must have been built from exactly d's current
+// contents.
+func (d *Database) SeedInterned(ix *Interned) { d.interned.Store(ix) }

@@ -1,10 +1,14 @@
 // Package engine is the concurrent serving layer on top of core: a
 // thread-safe LRU plan cache that memoizes core.Prepare (classification +
-// consistent first-order rewriting, the expensive query-only work), a
-// worker-pool batch API that fans independent CERTAINTY checks across
-// goroutines, and an optional parallel evaluation hot path that splits
-// top-level quantifier iteration of the rewriting across workers on large
-// databases. See docs/ENGINE.md for the architecture.
+// consistent first-order rewriting + its compiled program, the expensive
+// query-only work), a worker-pool batch API that fans independent
+// CERTAINTY checks across goroutines, and an optional parallel evaluation
+// hot path that splits top-level quantifier iteration of the rewriting
+// across workers on large databases. Rewritings evaluate through the
+// compiled pipeline (interned constants, slot-based environments,
+// index-driven quantifier restriction — docs/EVAL.md) unless
+// Options.ForceTreeWalk selects the interpreting tree walker. See
+// docs/ENGINE.md for the architecture.
 package engine
 
 import (
@@ -43,6 +47,12 @@ type Options struct {
 	// for versioned databases (CertainVersioned); ≤ 0 selects
 	// DefaultResultCacheSize.
 	ResultCacheSize int
+	// ForceTreeWalk evaluates rewritings with the interpreting tree
+	// walker (fo.Eval) instead of the compiled evaluation pipeline
+	// (docs/EVAL.md). The compiled path is the default and is
+	// differentially tested against the tree walker; this is the
+	// operational rollback switch.
+	ForceTreeWalk bool
 }
 
 // DefaultCacheSize is the plan-cache capacity when Options.CacheSize ≤ 0.
@@ -157,10 +167,19 @@ func (e *Engine) Certain(q schema.Query, d *db.Database) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if e.opt.ParallelEval {
-		return p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates), nil
+	return e.certainWith(p, d), nil
+}
+
+// certainWith evaluates a prepared plan on d honouring the engine's
+// evaluation options (parallel fan-out, tree-walk rollback).
+func (e *Engine) certainWith(p *core.Prepared, d *db.Database) bool {
+	if e.opt.ForceTreeWalk {
+		return p.CertainTreeWalk(d)
 	}
-	return p.Certain(d), nil
+	if e.opt.ParallelEval {
+		return p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates)
+	}
+	return p.Certain(d)
 }
 
 // CertainVersioned answers CERTAINTY(q) on one immutable snapshot of a
@@ -189,11 +208,7 @@ func (e *Engine) CertainVersioned(q schema.Query, dbID string, version uint64, d
 	if err != nil {
 		return false, false, err
 	}
-	if e.opt.ParallelEval {
-		certain = p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates)
-	} else {
-		certain = p.Certain(d)
-	}
+	certain = e.certainWith(p, d)
 	rels := make(map[string]bool)
 	for _, a := range q.Atoms() {
 		rels[a.Rel] = true
@@ -305,6 +320,9 @@ func (e *Engine) certainIsolated(it Item) (res Result) {
 	p, err := e.prepare(it.Query)
 	if err != nil {
 		return Result{Err: err}
+	}
+	if e.opt.ForceTreeWalk {
+		return Result{Certain: p.CertainTreeWalk(it.DB)}
 	}
 	return Result{Certain: p.Certain(it.DB)}
 }

@@ -1,0 +1,567 @@
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cqa/internal/db"
+	"cqa/internal/schema"
+)
+
+// This file implements the compiled evaluation pipeline: a Formula is
+// lowered once into a Program whose environments are slot-indexed []int32
+// (no map[string]string, no strings.Join tuple keys), whose constants are
+// resolved to dictionary ids, and whose quantifiers range over
+// precomputed candidate lists (column posting lists of the interned
+// database, constant singletons, or the active domain as a last resort).
+// The quantifier-restriction analysis is the compile-time mirror of
+// evaluator.candidates, so Program results are identical to Eval by
+// construction; FuzzCompiledEval and TestCompiledDifferential enforce it.
+//
+// Lifecycle: Compile once per formula → Bind once per (program, interned
+// database) → Eval any number of times, concurrently. Programs, plans,
+// and Bounds are read-only after construction; per-evaluation state lives
+// in pooled machines, so steady-state evaluation performs no allocation.
+
+// termRef encodes a compiled term: values ≥ 0 are environment slots,
+// values < 0 are constant-table indexes (^ref).
+type termRef int32
+
+func slotRef(s int) termRef  { return termRef(s) }
+func constRef(c int) termRef { return ^termRef(c) }
+
+// candPlan is a compile-time description of where a quantified variable's
+// candidate values come from. Plans are materialized into concrete
+// []int32 lists at Bind time (they depend only on the database, never on
+// the environment).
+type candPlan interface{ isCand() }
+
+// candDomain ranges over the active domain (no restricting guard found).
+type candDomain struct{}
+
+// candCol ranges over the posting list of one positive-atom column.
+type candCol struct{ rel, col int }
+
+// candConst is the singleton from a ground equality x = c.
+type candConst struct{ c int }
+
+// candPick takes the smallest of several sound restrictions (conjunctive
+// contexts: any single restriction is sound).
+type candPick struct{ of []candPlan }
+
+// candUnion takes the union of several restrictions (disjunctive
+// contexts: every branch must restrict for the union to be sound).
+type candUnion struct{ of []candPlan }
+
+func (candDomain) isCand() {}
+func (candCol) isCand()    {}
+func (candConst) isCand()  {}
+func (candPick) isCand()   {}
+func (candUnion) isCand()  {}
+
+// node is one compiled formula node. eval must not retain m.
+type node interface{ eval(m *mach) bool }
+
+type nTruth bool
+
+type nAtom struct {
+	rel   int // index into Bound.rels; nil entry = relation absent = false
+	terms []termRef
+}
+
+type nEq struct{ l, r termRef }
+
+type nNot struct{ f node }
+
+type nAnd struct{ fs []node }
+
+type nOr struct{ fs []node }
+
+type nImplies struct{ l, r node }
+
+// nExists binds one variable (one slot) over one candidate list.
+// Multi-variable quantifier blocks compile to nested nExists.
+type nExists struct {
+	slot int32
+	cand int32 // index into Bound.cands
+	body node
+}
+
+func (t nTruth) eval(*mach) bool { return bool(t) }
+
+func (a *nAtom) eval(m *mach) bool {
+	r := m.b.rels[a.rel]
+	if r == nil {
+		return false
+	}
+	buf := m.argbuf[:len(a.terms)]
+	for i, t := range a.terms {
+		buf[i] = m.get(t)
+	}
+	return r.Has(buf)
+}
+
+func (e *nEq) eval(m *mach) bool { return m.get(e.l) == m.get(e.r) }
+
+func (n *nNot) eval(m *mach) bool { return !n.f.eval(m) }
+
+func (n *nAnd) eval(m *mach) bool {
+	for _, f := range n.fs {
+		if !f.eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *nOr) eval(m *mach) bool {
+	for _, f := range n.fs {
+		if f.eval(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *nImplies) eval(m *mach) bool { return !n.l.eval(m) || n.r.eval(m) }
+
+func (e *nExists) eval(m *mach) bool {
+	body, env := e.body, m.env
+	for _, v := range m.b.cands[e.cand] {
+		env[e.slot] = v
+		if body.eval(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Program is a formula lowered to slot-based form. It is independent of
+// any database: constants and relations are symbolic tables resolved at
+// Bind time. Read-only after Compile; safe for concurrent Binds.
+type Program struct {
+	root     node
+	slots    int
+	consts   []string // distinct constant values, indexed by constRef
+	rels     []string // distinct relation names, indexed by nAtom.rel
+	cands    []candPlan
+	maxArity int
+	source   Formula
+}
+
+// Slots returns the number of environment slots (binder occurrences).
+func (p *Program) Slots() int { return p.slots }
+
+// Source returns the formula the program was compiled from.
+func (p *Program) Source() Formula { return p.source }
+
+type compiler struct {
+	p        *Program
+	constIdx map[string]int
+	relIdx   map[string]int
+	err      error
+}
+
+// Compile lowers a sentence into a Program. It fails on free variables —
+// programs evaluate closed formulas only, like Eval.
+func Compile(f Formula) (*Program, error) {
+	if free := FreeVars(f); !free.Empty() {
+		return nil, fmt.Errorf("fo: Compile on non-sentence with free variables %s", free)
+	}
+	c := &compiler{
+		p:        &Program{source: f},
+		constIdx: make(map[string]int),
+		relIdx:   make(map[string]int),
+	}
+	c.p.root = c.compile(f, make(map[string]int32))
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.p, nil
+}
+
+// MustCompile is Compile for known-good sentences (e.g. rewritings).
+func MustCompile(f Formula) *Program {
+	p, err := Compile(f)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (c *compiler) constant(v string) int {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := len(c.p.consts)
+	c.constIdx[v] = i
+	c.p.consts = append(c.p.consts, v)
+	return i
+}
+
+func (c *compiler) relation(name string) int {
+	if i, ok := c.relIdx[name]; ok {
+		return i
+	}
+	i := len(c.p.rels)
+	c.relIdx[name] = i
+	c.p.rels = append(c.p.rels, name)
+	return i
+}
+
+func (c *compiler) term(t schema.Term, scope map[string]int32) termRef {
+	if !t.IsVar {
+		return constRef(c.constant(t.Name))
+	}
+	s, ok := scope[t.Name]
+	if !ok {
+		c.fail("fo: compile: unbound variable %s", t.Name)
+		return slotRef(0)
+	}
+	return slotRef(int(s))
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *compiler) compile(f Formula, scope map[string]int32) node {
+	switch g := f.(type) {
+	case Truth:
+		return nTruth(g)
+	case Atom:
+		terms := make([]termRef, len(g.Terms))
+		for i, t := range g.Terms {
+			terms[i] = c.term(t, scope)
+		}
+		if len(terms) > c.p.maxArity {
+			c.p.maxArity = len(terms)
+		}
+		return &nAtom{rel: c.relation(g.Rel), terms: terms}
+	case Eq:
+		return &nEq{l: c.term(g.L, scope), r: c.term(g.R, scope)}
+	case Not:
+		return &nNot{f: c.compile(g.F, scope)}
+	case And:
+		fs := make([]node, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = c.compile(sub, scope)
+		}
+		return &nAnd{fs: fs}
+	case Or:
+		fs := make([]node, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = c.compile(sub, scope)
+		}
+		return &nOr{fs: fs}
+	case Implies:
+		return &nImplies{l: c.compile(g.L, scope), r: c.compile(g.R, scope)}
+	case Exists:
+		return c.compileExists(g.Vars, g.Body, scope)
+	case Forall:
+		// ∀x⃗ φ ≡ ¬∃x⃗ ¬φ; the exists path restricts candidates using
+		// the guards inside ¬φ, exactly like the tree walker.
+		return &nNot{f: c.compileExists(g.Vars, Not{F: g.Body}, scope)}
+	default:
+		c.fail("fo: compile: unknown formula %T", f)
+		return nTruth(false)
+	}
+}
+
+// compileExists lowers an ∃-block to nested single-variable nExists
+// nodes. Every binder occurrence gets a fresh slot, so shadowed names
+// need no save/restore at run time.
+func (c *compiler) compileExists(vars []string, body Formula, scope map[string]int32) node {
+	if len(vars) == 0 {
+		return c.compile(body, scope)
+	}
+	x := vars[0]
+	plan, ok := c.candidates(x, body, true)
+	if !ok {
+		plan = candDomain{}
+	}
+	ci := len(c.p.cands)
+	c.p.cands = append(c.p.cands, plan)
+	slot := int32(c.p.slots)
+	c.p.slots++
+	old, had := scope[x]
+	scope[x] = slot
+	inner := c.compileExists(vars[1:], body, scope)
+	if had {
+		scope[x] = old
+	} else {
+		delete(scope, x)
+	}
+	return &nExists{slot: slot, cand: int32(ci), body: inner}
+}
+
+// candidates is the compile-time mirror of evaluator.candidates: it
+// returns a plan for a sound over-approximation of the values of x for
+// which f can be true (positive) or false (negative). The boolean result
+// reports whether a restriction exists; restriction existence is purely
+// structural, so it is decidable at compile time (an unknown relation
+// materializes as an empty posting list at Bind time).
+func (c *compiler) candidates(x string, f Formula, positive bool) (candPlan, bool) {
+	switch g := f.(type) {
+	case Truth:
+		return nil, false
+	case Atom:
+		if !positive {
+			return nil, false
+		}
+		for i, t := range g.Terms {
+			if t.IsVar && t.Name == x {
+				return candCol{rel: c.relation(g.Rel), col: i}, true
+			}
+		}
+		return nil, false
+	case Eq:
+		if !positive {
+			return nil, false
+		}
+		if g.L.IsVar && g.L.Name == x && !g.R.IsVar {
+			return candConst{c: c.constant(g.R.Name)}, true
+		}
+		if g.R.IsVar && g.R.Name == x && !g.L.IsVar {
+			return candConst{c: c.constant(g.L.Name)}, true
+		}
+		return nil, false
+	case Not:
+		return c.candidates(x, g.F, !positive)
+	case And:
+		if positive {
+			return c.pickRestriction(x, g.Fs, true)
+		}
+		return c.unionRestriction(x, g.Fs, false)
+	case Or:
+		if positive {
+			return c.unionRestriction(x, g.Fs, true)
+		}
+		return c.pickRestriction(x, g.Fs, false)
+	case Implies:
+		if positive {
+			return c.unionRestriction(x, []Formula{Not{F: g.L}, g.R}, true)
+		}
+		// L→R false: L true and R false; any restriction is sound.
+		if plan, ok := c.candidates(x, g.L, true); ok {
+			return plan, true
+		}
+		return c.candidates(x, g.R, false)
+	case Exists:
+		for _, v := range g.Vars {
+			if v == x {
+				return nil, false // x is shadowed; no free occurrence below
+			}
+		}
+		if positive {
+			return c.candidates(x, g.Body, true)
+		}
+		return nil, false
+	case Forall:
+		for _, v := range g.Vars {
+			if v == x {
+				return nil, false
+			}
+		}
+		if !positive {
+			return c.candidates(x, g.Body, false)
+		}
+		return nil, false
+	default:
+		c.fail("fo: compile: unknown formula %T", f)
+		return nil, false
+	}
+}
+
+// pickRestriction: in a conjunctive context any single child restriction
+// is sound; Bind materializes every restricting child and keeps the
+// smallest list (the same choice the tree walker makes).
+func (c *compiler) pickRestriction(x string, fs []Formula, positive bool) (candPlan, bool) {
+	var of []candPlan
+	for _, sub := range fs {
+		if plan, ok := c.candidates(x, sub, positive); ok {
+			of = append(of, plan)
+		}
+	}
+	switch len(of) {
+	case 0:
+		return nil, false
+	case 1:
+		return of[0], true
+	default:
+		return candPick{of: of}, true
+	}
+}
+
+// unionRestriction: in a disjunctive context every child must restrict;
+// the candidate set is the union.
+func (c *compiler) unionRestriction(x string, fs []Formula, positive bool) (candPlan, bool) {
+	var of []candPlan
+	for _, sub := range fs {
+		plan, ok := c.candidates(x, sub, positive)
+		if !ok {
+			return nil, false
+		}
+		of = append(of, plan)
+	}
+	switch len(of) {
+	case 0:
+		return nil, false
+	case 1:
+		return of[0], true
+	default:
+		return candUnion{of: of}, true
+	}
+}
+
+// Bound is a Program linked against one interned database: constants
+// resolved to ids, relations resolved to indexes, and every quantifier's
+// candidate plan materialized into a concrete list. Read-only after Bind
+// and safe for unbounded concurrent Eval/EvalParallel calls; per-call
+// state lives in pooled machines.
+type Bound struct {
+	p      *Program
+	ix     *db.Interned
+	consts []int32
+	rels   []*db.InternedRelation
+	cands  [][]int32
+	domain []int32
+	pool   sync.Pool
+}
+
+// Bind links the program against ix. Constants unknown to the database
+// receive synthetic ids (≥ ix.NumIDs()) that match no fact but
+// participate in equality and quantification, preserving the tree
+// walker's active-domain semantics (database constants ∪ formula
+// constants).
+func (p *Program) Bind(ix *db.Interned) *Bound {
+	b := &Bound{p: p, ix: ix}
+	b.consts = make([]int32, len(p.consts))
+	synth := ix.NumIDs()
+	for i, v := range p.consts {
+		if id, ok := ix.ID(v); ok {
+			b.consts[i] = id
+		} else {
+			b.consts[i] = synth
+			synth++
+		}
+	}
+	b.rels = make([]*db.InternedRelation, len(p.rels))
+	for i, name := range p.rels {
+		b.rels[i] = ix.Relation(name)
+	}
+	// The quantification domain is the active domain plus any formula
+	// constant not occurring in the database.
+	b.domain = ix.DomainIDs()
+	var extra []int32
+	for _, id := range b.consts {
+		if !containsID(b.domain, id) && !containsID(extra, id) {
+			extra = append(extra, id)
+		}
+	}
+	if len(extra) > 0 {
+		merged := make([]int32, 0, len(b.domain)+len(extra))
+		merged = append(merged, b.domain...)
+		merged = append(merged, extra...)
+		sortIDs(merged)
+		b.domain = merged
+	}
+	b.cands = make([][]int32, len(p.cands))
+	for i, plan := range p.cands {
+		b.cands[i] = b.materialize(plan)
+	}
+	b.pool.New = func() any {
+		return &mach{b: b, env: make([]int32, p.slots), argbuf: make([]int32, p.maxArity)}
+	}
+	return b
+}
+
+func containsID(s []int32, id int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+func sortIDs(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// materialize turns a candidate plan into a concrete sorted id list.
+func (b *Bound) materialize(plan candPlan) []int32 {
+	switch p := plan.(type) {
+	case candDomain:
+		return b.domain
+	case candCol:
+		r := b.rels[p.rel]
+		if r == nil {
+			return nil // unknown relation: the atom can never hold
+		}
+		return r.Posting(p.col)
+	case candConst:
+		return []int32{b.consts[p.c]}
+	case candPick:
+		best := b.materialize(p.of[0])
+		for _, sub := range p.of[1:] {
+			if got := b.materialize(sub); len(got) < len(best) {
+				best = got
+			}
+		}
+		return best
+	case candUnion:
+		set := make(map[int32]bool)
+		for _, sub := range p.of {
+			for _, id := range b.materialize(sub) {
+				set[id] = true
+			}
+		}
+		out := make([]int32, 0, len(set))
+		for id := range set {
+			out = append(out, id)
+		}
+		sortIDs(out)
+		return out
+	default:
+		panic(fmt.Sprintf("fo: unknown candidate plan %T", plan))
+	}
+}
+
+// Interned returns the interned database the program is bound to.
+func (b *Bound) Interned() *db.Interned { return b.ix }
+
+// mach is the per-evaluation state: the slot environment and the atom
+// argument scratch buffer. Machines are pooled by the Bound; one machine
+// is used by exactly one goroutine at a time.
+type mach struct {
+	b      *Bound
+	env    []int32
+	argbuf []int32
+}
+
+func (m *mach) get(t termRef) int32 {
+	if t >= 0 {
+		return m.env[t]
+	}
+	return m.b.consts[^t]
+}
+
+// Eval evaluates the bound program. Safe for concurrent use; steady-state
+// calls allocate nothing.
+func (b *Bound) Eval() bool {
+	m := b.pool.Get().(*mach)
+	r := b.p.root.eval(m)
+	b.pool.Put(m)
+	return r
+}
+
+// EvalCompiled is the convenience one-shot pipeline: intern (memoized on
+// d), compile, bind, evaluate. Serving paths should Compile/Bind once and
+// reuse the Bound instead.
+func EvalCompiled(d *db.Database, f Formula) bool {
+	p, err := Compile(f)
+	if err != nil {
+		panic(err)
+	}
+	return p.Bind(d.Interned()).Eval()
+}

@@ -1,0 +1,182 @@
+package fo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/gen"
+	"cqa/internal/rewrite"
+	"cqa/internal/schema"
+)
+
+// The compiled pipeline agrees with both the optimized tree walker and
+// the unoptimized reference on random closed formulas — this is the
+// correctness argument for the slot compiler and the compile-time
+// candidate-restriction analysis.
+func TestCompiledAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(316))
+	for trial := 0; trial < 400; trial++ {
+		f := randFormula(rng, 1+rng.Intn(3), nil)
+		if !fo.FreeVars(f).Empty() {
+			continue
+		}
+		d := randSmallDB(rng)
+		want := fo.EvalReference(d, f)
+		if got := fo.Eval(d, f); got != want {
+			t.Fatalf("tree walker disagrees with reference on %s with db:\n%s", f, d)
+		}
+		if got := fo.EvalCompiled(d, f); got != want {
+			t.Fatalf("compiled = %v, reference = %v on %s with db:\n%s", got, want, f, d)
+		}
+	}
+}
+
+// The compiled pipeline agrees on real rewritings over generated
+// databases, sequentially and with the parallel fan-out, and the Bound is
+// reusable across evaluations.
+func TestCompiledAgreesOnRewritings(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	opts := gen.DefaultQueryOptions()
+	dbOpts := gen.DefaultDBOptions()
+	tested := 0
+	for tested < 25 {
+		q := gen.Query(rng, opts)
+		f, err := rewrite.Rewrite(q)
+		if err != nil {
+			continue
+		}
+		tested++
+		d := gen.Database(rng, q, dbOpts)
+		want := fo.Eval(d, f)
+		p, err := fo.Compile(f)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", f, err)
+		}
+		b := p.Bind(d.Interned())
+		for i := 0; i < 3; i++ {
+			if got := b.Eval(); got != want {
+				t.Fatalf("compiled = %v, tree walker = %v on rewriting of %s\n%s", got, want, q, d)
+			}
+		}
+		if got := b.EvalParallel(4, 1); got != want {
+			t.Fatalf("compiled parallel = %v, tree walker = %v on rewriting of %s\n%s", got, want, q, d)
+		}
+	}
+}
+
+// Compile rejects formulas with free variables.
+func TestCompileRejectsFreeVariables(t *testing.T) {
+	f := fo.Atom{Rel: "R", Key: 1, Terms: []schema.Term{schema.Var("x"), schema.Const("a")}}
+	if _, err := fo.Compile(f); err == nil {
+		t.Fatal("Compile accepted a formula with free variable x")
+	}
+}
+
+// Atoms over relations the database does not declare are false, and
+// quantifiers restricted by them range over the empty list — no clone or
+// declaration is needed (unlike the tree-walker path through
+// core.withQueryRels).
+func TestCompiledMissingRelation(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("S", 1, 1)
+	d.MustInsert(db.F("S", "a"))
+	// ∃x (R(x,x)) over undeclared R: false.
+	f := fo.Exists{Vars: []string{"x"}, Body: fo.Atom{Rel: "R", Key: 1,
+		Terms: []schema.Term{schema.Var("x"), schema.Var("x")}}}
+	if fo.EvalCompiled(d, f) {
+		t.Fatal("atom over undeclared relation evaluated to true")
+	}
+	// ¬∃x R(x,x): true.
+	if !fo.EvalCompiled(d, fo.Not{F: f}) {
+		t.Fatal("negated atom over undeclared relation evaluated to false")
+	}
+}
+
+// Formula constants outside the database participate in equality and
+// quantification via synthetic ids: ∃x (x = c ∧ ¬S(x)) must be true when
+// c does not occur in the database.
+func TestCompiledConstantsOutsideDatabase(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("S", 1, 1)
+	d.MustInsert(db.F("S", "a"))
+	c := schema.Const("zzz-not-in-db")
+	f := fo.Exists{Vars: []string{"x"}, Body: fo.NewAnd(
+		fo.Eq{L: schema.Var("x"), R: c},
+		fo.Not{F: fo.Atom{Rel: "S", Key: 1, Terms: []schema.Term{schema.Var("x")}}},
+	)}
+	if want := fo.Eval(d, f); !want {
+		t.Fatal("tree walker: expected true")
+	}
+	if !fo.EvalCompiled(d, f) {
+		t.Fatal("compiled: synthetic constant lost in quantification")
+	}
+	// Two distinct unseen constants must stay distinct, the same one equal.
+	g := fo.Exists{Vars: []string{"x"}, Body: fo.NewAnd(
+		fo.Eq{L: schema.Var("x"), R: schema.Const("u1")},
+		fo.Eq{L: schema.Var("x"), R: schema.Const("u2")},
+	)}
+	if fo.EvalCompiled(d, g) != fo.Eval(d, g) {
+		t.Fatal("distinct unseen constants compared equal")
+	}
+}
+
+// Inner quantifiers shadowing an outer variable of the same name get
+// their own slot; the outer binding is untouched.
+func TestCompiledShadowing(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustInsert(db.F("R", "a", "b"))
+	// ∃x (R(x,·) ∧ ∃x S-free: x = b) — inner x shadows outer.
+	f := fo.Exists{Vars: []string{"x"}, Body: fo.NewAnd(
+		fo.Exists{Vars: []string{"y"}, Body: fo.Atom{Rel: "R", Key: 1,
+			Terms: []schema.Term{schema.Var("x"), schema.Var("y")}}},
+		fo.Exists{Vars: []string{"x"}, Body: fo.Eq{L: schema.Var("x"), R: schema.Const("b")}},
+		fo.Eq{L: schema.Var("x"), R: schema.Const("a")},
+	)}
+	if want, got := fo.Eval(d, f), fo.EvalCompiled(d, f); got != want {
+		t.Fatalf("shadowing: compiled = %v, tree walker = %v", got, want)
+	}
+}
+
+// InternNext reuses the indexes of relations shared between COW
+// snapshots and stays correct on the rebuilt ones.
+func TestCompiledInternNextCOW(t *testing.T) {
+	d := db.New()
+	d.MustDeclare("R", 2, 1)
+	d.MustDeclare("S", 1, 1)
+	d.MustInsert(db.F("R", "a", "b"))
+	d.MustInsert(db.F("S", "a"))
+	ix1 := d.Interned()
+
+	next := d.CloneCOW("S")
+	next.MustInsert(db.F("S", "zzz"))
+	ix2 := db.InternNext(ix1, next)
+	next.SeedInterned(ix2)
+
+	if ix2.Relation("R") != ix1.Relation("R") {
+		t.Fatal("untouched relation index was rebuilt instead of reused")
+	}
+	if ix2.Relation("S") == ix1.Relation("S") {
+		t.Fatal("touched relation index was reused")
+	}
+	// Ids are stable across the chain: "a" has the same id in both views.
+	id1, ok1 := ix1.ID("a")
+	id2, ok2 := ix2.ID("a")
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Fatalf("id of shared constant drifted: %d/%v vs %d/%v", id1, ok1, id2, ok2)
+	}
+	// And the evaluation on the new snapshot sees the new fact.
+	f := fo.Exists{Vars: []string{"x"}, Body: fo.NewAnd(
+		fo.Atom{Rel: "S", Key: 1, Terms: []schema.Term{schema.Var("x")}},
+		fo.Eq{L: schema.Var("x"), R: schema.Const("zzz")},
+	)}
+	p := fo.MustCompile(f)
+	if p.Bind(ix1).Eval() {
+		t.Fatal("old snapshot sees the new fact")
+	}
+	if !p.Bind(ix2).Eval() {
+		t.Fatal("new snapshot misses the new fact")
+	}
+}

@@ -86,6 +86,93 @@ func (pe *parEvaluator) eval(f Formula) bool {
 	}
 }
 
+// EvalParallel evaluates the bound program like Eval, but splits the
+// candidate iteration of top-level quantifiers (those reachable from the
+// root through ∧, ∨, ¬, and → only — the shape of the consistent
+// first-order rewritings) across up to workers goroutines. Inner
+// quantifiers run sequentially per worker. workers ≤ 0 selects
+// GOMAXPROCS, minCandidates ≤ 0 selects DefaultMinParallelCandidates.
+// The answer is identical to Eval.
+func (b *Bound) EvalParallel(workers, minCandidates int) bool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if minCandidates <= 0 {
+		minCandidates = DefaultMinParallelCandidates
+	}
+	return b.parNode(b.p.root, workers, minCandidates)
+}
+
+func (b *Bound) parNode(n node, workers, minCandidates int) bool {
+	switch g := n.(type) {
+	case *nAnd:
+		for _, sub := range g.fs {
+			if !b.parNode(sub, workers, minCandidates) {
+				return false
+			}
+		}
+		return true
+	case *nOr:
+		for _, sub := range g.fs {
+			if b.parNode(sub, workers, minCandidates) {
+				return true
+			}
+		}
+		return false
+	case *nNot:
+		return !b.parNode(g.f, workers, minCandidates)
+	case *nImplies:
+		return !b.parNode(g.l, workers, minCandidates) || b.parNode(g.r, workers, minCandidates)
+	case *nExists:
+		return b.parExists(g, workers, minCandidates)
+	default:
+		return b.evalNode(n)
+	}
+}
+
+// evalNode evaluates one subtree on a pooled machine.
+func (b *Bound) evalNode(n node) bool {
+	m := b.pool.Get().(*mach)
+	r := n.eval(m)
+	b.pool.Put(m)
+	return r
+}
+
+// parExists fans the candidate list of one compiled quantifier across
+// workers; each worker owns a pooled machine and evaluates the body
+// sequentially. Early exit is cooperative, exactly like the tree walker's
+// parallel path.
+func (b *Bound) parExists(e *nExists, workers, minCandidates int) bool {
+	cands := b.cands[e.cand]
+	if workers <= 1 || len(cands) < minCandidates {
+		return b.evalNode(e)
+	}
+	var found atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := b.pool.Get().(*mach)
+			defer b.pool.Put(m)
+			for !found.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				m.env[e.slot] = cands[i]
+				if e.body.eval(m) {
+					found.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return found.Load()
+}
+
 // exists fans the candidate values of the first quantified variable
 // across workers; each worker runs the sequential evaluator for the
 // remaining variables and body. Early exit is cooperative: the first

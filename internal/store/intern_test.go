@@ -1,0 +1,59 @@
+package store
+
+import (
+	"testing"
+
+	"cqa/internal/db"
+)
+
+// Once a reader has interned a snapshot, writes keep the interner chain
+// warm: the next version's view shares the dictionary and reuses the
+// indexes of every relation the write did not touch.
+func TestApplyChainsInternedViews(t *testing.T) {
+	s := NewMem("intern", nil)
+	defer s.Close()
+	if _, err := s.Declare("R", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Declare("S", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(db.F("R", "a", "b"), db.F("S", "c")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap1 := s.Snapshot()
+	ix1 := snap1.DB.Interned() // reader interns version 1
+
+	if _, err := s.Insert(db.F("S", "d")); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := s.Snapshot()
+	ix2 := snap2.DB.InternedIfBuilt()
+	if ix2 == nil {
+		t.Fatal("apply did not seed the next snapshot's interned view")
+	}
+	if ix2.Relation("R") != ix1.Relation("R") {
+		t.Fatal("untouched relation index was rebuilt instead of reused")
+	}
+	if ix2.Relation("S") == ix1.Relation("S") {
+		t.Fatal("touched relation index was wrongly reused")
+	}
+	id1, ok1 := ix1.ID("a")
+	id2, ok2 := ix2.ID("a")
+	if !ok1 || !ok2 || id1 != id2 {
+		t.Fatal("constant ids drifted across the version chain")
+	}
+	// A snapshot that was never interned does not force interning.
+	s2 := NewMem("cold", nil)
+	defer s2.Close()
+	if _, err := s2.Declare("R", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Insert(db.F("R", "x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Snapshot().DB.InternedIfBuilt() != nil {
+		t.Fatal("write eagerly interned a never-read store")
+	}
+}

@@ -368,6 +368,16 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 		s.walRecords.Add(n)
 	}
 
+	// Keep the compiled-evaluator interner chain warm: when readers have
+	// interned the previous snapshot, build the next version's view by
+	// reusing the shared dictionary and the indexes of every untouched
+	// (pointer-shared) relation, so a write re-indexes only the relations
+	// it touched. When no reader ever interned, skip — the first compiled
+	// evaluation on the new snapshot will build (and memoize) a view.
+	if prevIx := cur.DB.InternedIfBuilt(); prevIx != nil {
+		next.SeedInterned(db.InternNext(prevIx, next))
+	}
+
 	s.cur.Store(&Snapshot{DB: next, Version: version})
 	if s.onApply != nil {
 		s.onApply(change)
