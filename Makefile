@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke clean
+.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke shard-smoke chaos bench-shard clean
 
-check: vet test race fuzz bench bench-smoke
+check: vet test race fuzz bench bench-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSQLExec -fuzztime $(FUZZTIME) ./internal/sqlexec
 	$(GO) test -run '^$$' -fuzz FuzzServerCertainRequest -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzWALStream -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzCompiledEval -fuzztime $(FUZZTIME) ./internal/fo
 
 # One iteration per benchmark: compiles and exercises every benchmark
@@ -100,6 +101,23 @@ store-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	rm -rf /tmp/cqad-store-smoke /tmp/cqad-store-smoke.addr /tmp/cqad-store-smoke-data; \
 	echo "store-smoke OK"
+
+# Sharded-topology smoke: boot a router over four real cqad shard
+# processes, SIGKILL one shard, verify explicit degraded serving
+# (partial_result only for queries touching the dead shard), restart it,
+# and verify full recovery. The heavier fault-injection loop is `make
+# chaos` (TestChaosKillRecover at CHAOS_ROUNDS=20).
+shard-smoke:
+	$(GO) test -run TestShardSmoke -count=1 -v ./internal/shard/chaostest
+
+chaos:
+	CHAOS_ROUNDS=20 $(GO) test -run TestChaosKillRecover -count=1 -v ./internal/shard/chaostest
+
+# Read-throughput scaling of the sharded tier: router over 1 vs 4 shard
+# processes under the phased cqaload workload, regenerating
+# BENCH_shard.json and failing below a 3x speedup.
+bench-shard:
+	$(GO) run ./cmd/shardbench
 
 clean:
 	$(GO) clean -testcache

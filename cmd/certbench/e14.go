@@ -12,6 +12,7 @@ import (
 	"cqa/internal/engine"
 	"cqa/internal/loadgen"
 	"cqa/internal/server"
+	"cqa/internal/shard"
 	"cqa/internal/store"
 )
 
@@ -33,7 +34,7 @@ func runE14(quick bool) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	set, err := store.OpenSet(store.Options{Dir: dir})
+	set, err := shard.OpenSet(store.Options{Dir: dir}, 1)
 	if err != nil {
 		return err
 	}

@@ -20,10 +20,25 @@
 // the recovered store wins. Without -data, named databases are
 // memory-only versioned stores.
 //
+// With -shards N, databases the daemon creates are partitioned into N
+// shard stores by block key (internal/shard; see docs/SHARDING.md);
+// existing databases keep the shard count their files imply.
+//
+// Two alternative serving roles:
+//
+//	cqad -route http://s0,http://s1[,...] [-route-replicas http://r0,...]
+//	cqad -follow http://primary [-follower-id name]
+//
+// -route turns the daemon into the scatter-gather tier over N shard
+// servers (writes partition by block owner, reads scatter; reads prefer
+// the -route-replicas follower of each shard and fall back to its
+// primary). -follow turns it into a read-only WAL-shipping follower of
+// a primary cqad.
+//
 // Endpoints: POST /v1/classify, /v1/certain, /v1/batch,
-// /v1/db/{create,insert,delete}; GET /v1/db/info, /v1/stats, /healthz,
-// /readyz, /metrics, /debug/vars (+ /debug/pprof with -pprof).
-// See docs/SERVING.md.
+// /v1/db/{create,insert,delete}; GET /v1/db/info, /v1/db/facts,
+// /v1/shards, /v1/wal/stream, /v1/stats, /healthz, /readyz, /metrics,
+// /debug/vars (+ /debug/pprof with -pprof). See docs/SERVING.md.
 //
 // On SIGINT/SIGTERM the daemon flips /readyz to 503, drains in-flight
 // requests (bounded by -drain-timeout), then closes the engine.
@@ -48,6 +63,7 @@ import (
 	"cqa/internal/engine"
 	"cqa/internal/parse"
 	"cqa/internal/server"
+	"cqa/internal/shard"
 	"cqa/internal/store"
 )
 
@@ -81,6 +97,11 @@ type config struct {
 	maxBody      int64
 	parallelEval bool
 	pprof        bool
+	shards       int
+	route        string
+	replicas     string
+	follow       string
+	followerID   string
 }
 
 func parseFlags(args []string, errw *os.File) (config, error) {
@@ -101,12 +122,21 @@ func parseFlags(args []string, errw *os.File) (config, error) {
 	fs.Int64Var(&c.maxBody, "max-body", 0, "max request body bytes before 413 (0 = 1 MiB)")
 	fs.BoolVar(&c.parallelEval, "parallel-eval", false, "enable the parallel evaluation hot path")
 	fs.BoolVar(&c.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.IntVar(&c.shards, "shards", 1, "shard count for databases this daemon creates (block-hash partitioning)")
+	fs.StringVar(&c.route, "route", "", "comma-separated shard server URLs: serve as the scatter-gather router over them")
+	fs.StringVar(&c.replicas, "route-replicas", "", "comma-separated follower URLs, one per -route shard (empty slots allowed); reads prefer them")
+	fs.StringVar(&c.follow, "follow", "", "primary URL: serve read-only, replicating its databases over WAL streams")
+	fs.StringVar(&c.followerID, "follower-id", "", "follower id registered in the primary's WAL retention floor (with -follow)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(errw, "cqad: unexpected arguments: %v\n", fs.Args())
 		return config{}, errors.New("unexpected arguments")
+	}
+	if c.route != "" && c.follow != "" {
+		fmt.Fprintln(errw, "cqad: -route and -follow are mutually exclusive")
+		return config{}, errors.New("conflicting modes")
 	}
 	return c, nil
 }
@@ -124,13 +154,13 @@ func run(cfg config) error {
 		log.Printf("cqad: preloaded %d database(s) from %s: %s", len(dbs), cfg.dbDir, strings.Join(names, ", "))
 	}
 
-	var stores *store.Set
+	var stores *shard.Set
 	if cfg.dataDir != "" {
-		stores, err = store.OpenSet(store.Options{
+		stores, err = shard.OpenSet(store.Options{
 			Dir:             cfg.dataDir,
 			CheckpointEvery: cfg.checkpoint,
 			Sync:            cfg.fsync,
-		})
+		}, cfg.shards)
 		if err != nil {
 			return err
 		}
@@ -162,15 +192,52 @@ func run(cfg config) error {
 		Workers:      cfg.workers,
 		ParallelEval: cfg.parallelEval,
 	})
-	srv := server.New(server.Options{
+	baseOpts := server.Options{
 		Engine:         eng,
-		Databases:      dbs,
-		Stores:         stores,
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		MaxBodyBytes:   cfg.maxBody,
 		EnablePprof:    cfg.pprof,
-	})
+	}
+
+	var srv *server.Server
+	var handler http.Handler
+	var stopFollower context.CancelFunc
+	var followerDone chan struct{}
+	switch {
+	case cfg.route != "":
+		// Router role: no local stores, scatter-gather over shard servers.
+		rt := server.NewRouter(server.RouterOptions{
+			Shards:   splitList(cfg.route),
+			Replicas: splitList(cfg.replicas),
+			Options:  baseOpts,
+		})
+		srv, handler = rt.Inner(), rt.Handler()
+		log.Printf("cqad: routing over %d shard server(s)", len(splitList(cfg.route)))
+	case cfg.follow != "":
+		// Follower role: read-only serving over replicated stores.
+		baseOpts.ReadOnly = true
+		srv = server.New(baseOpts)
+		handler = srv.Handler()
+		f := server.NewFollower(server.FollowerOptions{
+			Primary: cfg.follow,
+			ID:      cfg.followerID,
+			Server:  srv,
+			Logf:    log.Printf,
+		})
+		fctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		stopFollower = cancel
+		followerDone = make(chan struct{})
+		go func() { f.Run(fctx); close(followerDone) }()
+		log.Printf("cqad: following %s (read-only)", cfg.follow)
+	default:
+		baseOpts.Databases = dbs
+		baseOpts.Stores = stores
+		baseOpts.Shards = cfg.shards
+		srv = server.New(baseOpts)
+		handler = srv.Handler()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -184,7 +251,7 @@ func run(cfg config) error {
 	}
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -200,10 +267,20 @@ func run(cfg config) error {
 	}
 
 	srv.Drain()
+	if stopFollower != nil {
+		stopFollower()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("cqad: drain incomplete: %v", err)
+	}
+	if followerDone != nil {
+		select {
+		case <-followerDone:
+		case <-time.After(5 * time.Second):
+			log.Printf("cqad: follower streams did not stop in time")
+		}
 	}
 	eng.Close()
 	if stores != nil {
@@ -213,6 +290,19 @@ func run(cfg config) error {
 	}
 	log.Printf("cqad: shutdown complete; final stats: %s", eng.Stats())
 	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming space and
+// keeping empty slots ("a,,c" — a shard with no replica).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // loadDatabases reads every *.db file directly under dir (base name sans

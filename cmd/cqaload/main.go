@@ -11,6 +11,9 @@
 //	        [-mix classify=1,certain=8,batch=1] [-validate]
 //	cqaload -url ... -mutate [-writes 40] [-readers 4] [-db mutable]
 //	        [-seed 1] [-validate]
+//	cqaload -url ... -sharded [-read-url ...] [-keys 64] [-writes 100]
+//	        [-readers 4] [-reads 100] [-join-every 4] [-db sharded]
+//	        [-seed 1] [-validate]
 //
 // The default workload is generated locally and shipped inline in each
 // request (the /v1/certain and /v1/batch facts field), so cqaload needs
@@ -21,6 +24,13 @@
 // -readers concurrent readers on named-database /v1/certain; with
 // -validate every served answer is cross-checked against core.Certain on
 // the contemporaneous snapshot (the version each response names).
+//
+// With -sharded, cqaload runs the phased write → quiesce → read workload
+// for sharded topologies: writes go to -url (the router or primary),
+// reads go to -read-url (default -url; point it at a follower to measure
+// replica serving), and the read phase issues only ground-key queries so
+// a router touches exactly the shards owning each key. The read-phase
+// throughput is the number reported by cmd/shardbench.
 //
 // Exit status: 0 on a clean run, 1 when any request failed or validation
 // found a disagreement.
@@ -50,10 +60,20 @@ func main() {
 	mixFlag := flag.String("mix", "classify=1,certain=8,batch=1", "request mix weights")
 	validate := flag.Bool("validate", false, "cross-check every served answer against core.Certain")
 	mutate := flag.Bool("mutate", false, "drive a mutable named database (writer + readers) instead of the inline mix")
-	writes := flag.Int("writes", 40, "write batches issued by the single writer (with -mutate)")
-	readers := flag.Int("readers", 4, "concurrent readers (with -mutate)")
-	dbName := flag.String("db", "mutable", "server database name to create and drive (with -mutate)")
+	writes := flag.Int("writes", 40, "write batches issued by the single writer (with -mutate or -sharded)")
+	readers := flag.Int("readers", 4, "concurrent readers (with -mutate or -sharded)")
+	dbName := flag.String("db", "", "server database name to create and drive (with -mutate or -sharded)")
+	sharded := flag.Bool("sharded", false, "run the phased write\u2192quiesce\u2192read ground-key workload for sharded topologies")
+	readURL := flag.String("read-url", "", "base URL for -sharded reads (default -url; point at a follower)")
+	keys := flag.Int("keys", 64, "block key space (with -sharded)")
+	reads := flag.Int("reads", 100, "reads per reader (with -sharded)")
+	joinEvery := flag.Int("join-every", 4, "every n-th -sharded read is the confined two-atom join (0 = never)")
 	flag.Parse()
+
+	if *sharded && *mutate {
+		fmt.Fprintln(os.Stderr, "cqaload: -sharded and -mutate are mutually exclusive")
+		os.Exit(2)
+	}
 
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
@@ -65,7 +85,24 @@ func main() {
 	defer stop()
 
 	if *mutate {
-		runMutable(ctx, *url, *dbName, *writes, *readers, *seed, *validate)
+		name := *dbName
+		if name == "" {
+			name = "mutable"
+		}
+		runMutable(ctx, *url, name, *writes, *readers, *seed, *validate)
+		return
+	}
+	if *sharded {
+		runSharded(ctx, *url, loadgen.ShardedOptions{
+			Database:  *dbName,
+			ReadURL:   *readURL,
+			Keys:      *keys,
+			Writes:    *writes,
+			Readers:   *readers,
+			Reads:     *reads,
+			JoinEvery: *joinEvery,
+			Seed:      *seed,
+		}, *validate)
 		return
 	}
 
@@ -126,6 +163,31 @@ func parseMix(s string) (loadgen.Mix, error) {
 		}
 	}
 	return m, nil
+}
+
+// runSharded is the -sharded mode: phased write → quiesce → read.
+func runSharded(ctx context.Context, url string, opt loadgen.ShardedOptions, validate bool) {
+	fmt.Printf("sharded workload: %d keys, %d writes, %d readers × %d reads; driving %s\n",
+		opt.Keys, opt.Writes, opt.Readers, opt.Reads, url)
+	rep, err := loadgen.RunSharded(ctx, url, opt)
+	if rep != nil {
+		fmt.Println(rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqaload:", err)
+		os.Exit(1)
+	}
+	if validate {
+		checked, err := loadgen.ValidateSharded(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqaload: VALIDATION FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("validated %d served answer(s) against core.Certain on the quiesced shadow: all agree\n", checked)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
 }
 
 // runMutable is the -mutate mode: read/write mix over one named store.

@@ -1,0 +1,356 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/metrics"
+	"cqa/internal/parse"
+	"cqa/internal/server"
+)
+
+// The sharded workload drives a sharded/replicated cqad topology in
+// three phases — write, quiesce, read — so the read phase measures
+// steady-state read throughput at one frozen version and every served
+// answer has a single unambiguous ground truth (the final shadow):
+//
+//  1. Write: create one named database seeded with R and S blocks over
+//     a key space sized by Keys, then issue Writes single-fact
+//     insert/delete batches through the write endpoint (the router or
+//     primary), mirroring each acknowledged batch into a local shadow.
+//  2. Quiesce: poll the read endpoint's /v1/db/info until its served
+//     version reaches the last acknowledged write version — a no-op
+//     when reads and writes hit the same server, the catch-up wait
+//     when reads go to a follower.
+//  3. Read: Readers concurrent clients each issue Reads ground-key
+//     /v1/certain requests. Ground keys pin blocks, so on a router
+//     every read touches exactly the shards owning its key — the
+//     workload whose throughput is expected to scale with shard count.
+//
+// Two read shapes alternate: pinned single-atom queries (R('k' | y),
+// R('k' | 'v')) answered by verdict scatter, and — every JoinEvery-th
+// read — the confined two-atom query R('k' | x), !S('k' | x), which a
+// router serves by fetching the owning shard's slice (same-key blocks
+// co-locate) and evaluating the merge locally.
+const (
+	shardedValues  = 3 // v0..v2
+	shardedRelR    = "R"
+	shardedRelS    = "S"
+	shardedSSpread = 2 // every 2nd key gets an S seed fact
+)
+
+// ShardedOptions configures RunSharded.
+type ShardedOptions struct {
+	// Database is the server database name; empty selects "sharded".
+	// The database must not already exist; RunSharded creates it.
+	Database string
+	// ReadURL is the base URL read traffic targets; empty selects the
+	// write URL (read-your-own-writes on one server).
+	ReadURL string
+	// Keys is the block key space; ≤ 0 selects 64.
+	Keys int
+	// Writes is the number of single-fact write batches; ≤ 0 selects
+	// 100. Negative Writes are allowed as "no write phase" with -1.
+	Writes int
+	// Readers and Reads size the read phase: Readers concurrent
+	// clients, Reads requests each; ≤ 0 selects 4 and 100.
+	Readers, Reads int
+	// JoinEvery makes every n-th read the confined two-atom query;
+	// 0 disables joins, 1 makes every read a join.
+	JoinEvery int
+	// Seed drives key, value, and shape sequencing.
+	Seed int64
+	// Timeout is the per-request client timeout; ≤ 0 selects 30s.
+	Timeout time.Duration
+	// Quiesce bounds the catch-up wait between the phases; ≤ 0
+	// selects 30s.
+	Quiesce time.Duration
+}
+
+// ShardedRead records one read-phase request.
+type ShardedRead struct {
+	Query   string
+	Certain bool
+	Err     string
+}
+
+// ShardedReport is the outcome of a RunSharded.
+type ShardedReport struct {
+	WriteDuration   time.Duration
+	QuiesceDuration time.Duration
+	ReadDuration    time.Duration
+	Writes          int
+	Applied         int
+	FinalVersion    uint64 // last acknowledged write version
+	Reads           int
+	Failures        int
+	Latency         metrics.HistogramSnapshot
+
+	Calls  []ShardedRead
+	Shadow *db.Database // database content after the write phase
+}
+
+// ReadThroughput returns read-phase requests per second.
+func (r *ShardedReport) ReadThroughput() float64 {
+	if r.ReadDuration <= 0 {
+		return 0
+	}
+	return float64(r.Reads) / r.ReadDuration.Seconds()
+}
+
+// String renders the report as a short multi-line summary.
+func (r *ShardedReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "write: %d batches (%d applied) in %v to version %d; quiesce %v\n",
+		r.Writes, r.Applied, r.WriteDuration.Round(time.Millisecond), r.FinalVersion,
+		r.QuiesceDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "read:  %d requests in %v (%.0f req/s), %d failed\n",
+		r.Reads, r.ReadDuration.Round(time.Millisecond), r.ReadThroughput(), r.Failures)
+	fmt.Fprintf(&b, "  latency: %s", r.Latency)
+	return b.String()
+}
+
+// RunSharded runs the write → quiesce → read phases against writeURL
+// (and opt.ReadURL for reads). The returned report is complete even on
+// error or cancellation — it covers what ran.
+func RunSharded(ctx context.Context, writeURL string, opt ShardedOptions) (*ShardedReport, error) {
+	if opt.Database == "" {
+		opt.Database = "sharded"
+	}
+	if opt.ReadURL == "" {
+		opt.ReadURL = writeURL
+	}
+	if opt.Keys <= 0 {
+		opt.Keys = 64
+	}
+	if opt.Writes == 0 {
+		opt.Writes = 100
+	}
+	if opt.Writes < 0 {
+		opt.Writes = 0
+	}
+	if opt.Readers <= 0 {
+		opt.Readers = 4
+	}
+	if opt.Reads <= 0 {
+		opt.Reads = 100
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	if opt.Quiesce <= 0 {
+		opt.Quiesce = 30 * time.Second
+	}
+	client := &http.Client{
+		Timeout: opt.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Readers * 2,
+			MaxIdleConnsPerHost: opt.Readers * 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+	rep := &ShardedReport{}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Phase 1: create and write. The shadow mirrors every acknowledged
+	// batch with the server's no-op semantics.
+	var seed strings.Builder
+	for i := 0; i < opt.Keys; i++ {
+		fmt.Fprintf(&seed, "%s(k%d | v%d)\n", shardedRelR, i, rng.Intn(shardedValues))
+		if i%shardedSSpread == 0 {
+			fmt.Fprintf(&seed, "%s(k%d | v%d)\n", shardedRelS, i, rng.Intn(shardedValues))
+		}
+	}
+	shadow, err := parse.Database(seed.String())
+	if err != nil {
+		return rep, err
+	}
+	rep.Shadow = shadow
+	start := time.Now()
+	var created server.DBWriteResponse
+	if err := postDecode(ctx, client, writeURL+"/v1/db/create",
+		server.DBCreateRequest{Name: opt.Database, Facts: seed.String()}, &created); err != nil {
+		return rep, fmt.Errorf("loadgen: creating %s: %w", opt.Database, err)
+	}
+	rep.FinalVersion = created.Version
+	for i := 0; i < opt.Writes && ctx.Err() == nil; i++ {
+		rel := shardedRelR
+		if rng.Intn(3) == 0 {
+			rel = shardedRelS
+		}
+		fact := db.F(rel, fmt.Sprintf("k%d", rng.Intn(opt.Keys)), fmt.Sprintf("v%d", rng.Intn(shardedValues)))
+		del := rng.Intn(3) == 0
+		path := "/v1/db/insert"
+		if del {
+			path = "/v1/db/delete"
+		}
+		var ack server.DBWriteResponse
+		err := postDecode(ctx, client, writeURL+path, server.DBWriteRequest{
+			Database: opt.Database,
+			Facts:    fmt.Sprintf("%s(%s | %s)\n", fact.Rel, fact.Args[0], fact.Args[1]),
+		}, &ack)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: write %d: %w", i, err)
+		}
+		switch {
+		case del && shadow.Has(fact):
+			shadow.Remove(fact)
+		case !del && !shadow.Has(fact):
+			shadow.MustInsert(fact)
+		}
+		rep.Writes++
+		rep.Applied += ack.Applied
+		if ack.Version > rep.FinalVersion {
+			rep.FinalVersion = ack.Version
+		}
+	}
+	rep.WriteDuration = time.Since(start)
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
+
+	// Phase 2: quiesce. The read side's served version must reach the
+	// last acknowledged write version (both are the same monotone sum
+	// of shard store versions).
+	start = time.Now()
+	deadline := time.Now().Add(opt.Quiesce)
+	for {
+		v, err := servedVersion(ctx, client, opt.ReadURL, opt.Database)
+		if err == nil && v >= rep.FinalVersion {
+			break
+		}
+		if time.Now().After(deadline) {
+			rep.QuiesceDuration = time.Since(start)
+			if err == nil {
+				err = fmt.Errorf("read side at version %d, writes reached %d", v, rep.FinalVersion)
+			}
+			return rep, fmt.Errorf("loadgen: quiesce: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			rep.QuiesceDuration = time.Since(start)
+			return rep, ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	rep.QuiesceDuration = time.Since(start)
+
+	// Phase 3: read. Ground-key queries only; shapes alternate by the
+	// per-reader sequence so the mix is deterministic in the seed.
+	hist := metrics.NewHistogram(nil)
+	perReader := make([][]ShardedRead, opt.Readers)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for c := 0; c < opt.Readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + 1 + int64(c)*7919))
+			calls := make([]ShardedRead, 0, opt.Reads)
+			for i := 0; i < opt.Reads && ctx.Err() == nil; i++ {
+				k := rng.Intn(opt.Keys)
+				var query string
+				switch {
+				case opt.JoinEvery > 0 && i%opt.JoinEvery == opt.JoinEvery-1:
+					query = fmt.Sprintf("%s('k%d' | x), !%s('k%d' | x)", shardedRelR, k, shardedRelS, k)
+				case rng.Intn(2) == 0:
+					query = fmt.Sprintf("%s('k%d' | y)", shardedRelR, k)
+				default:
+					query = fmt.Sprintf("%s('k%d' | 'v%d')", shardedRelR, k, rng.Intn(shardedValues))
+				}
+				var out server.CertainResponse
+				t0 := time.Now()
+				err := postDecode(ctx, client, opt.ReadURL+"/v1/certain",
+					server.CertainRequest{Query: query, Database: opt.Database}, &out)
+				hist.Observe(time.Since(t0))
+				call := ShardedRead{Query: query, Certain: out.Certain}
+				if err != nil {
+					call.Err = err.Error()
+				}
+				calls = append(calls, call)
+			}
+			perReader[c] = calls
+		}(c)
+	}
+	wg.Wait()
+	rep.ReadDuration = time.Since(start)
+	rep.Latency = hist.Snapshot()
+	for _, calls := range perReader {
+		for _, call := range calls {
+			rep.Reads++
+			if call.Err != "" {
+				rep.Failures++
+			}
+			rep.Calls = append(rep.Calls, call)
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// servedVersion reads the read endpoint's version for the database.
+func servedVersion(ctx context.Context, client *http.Client, baseURL, name string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/db/info", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/v1/db/info: status %d", resp.StatusCode)
+	}
+	var info server.DBInfoResponse
+	if err := decodeJSON(resp.Body, &info); err != nil {
+		return 0, err
+	}
+	for _, d := range info.Databases {
+		if d.Name == name {
+			return d.Version, nil
+		}
+	}
+	return 0, fmt.Errorf("database %s not served", name)
+}
+
+func decodeJSON(r io.Reader, out any) error { return json.NewDecoder(r).Decode(out) }
+
+// ValidateSharded cross-checks every successful read against
+// core.Certain on the final shadow — sound because the read phase runs
+// quiesced at one frozen version. Ground truth is memoized per query
+// text. Returns the number of answers checked.
+func ValidateSharded(rep *ShardedReport) (int, error) {
+	truth := make(map[string]bool)
+	checked := 0
+	for _, call := range rep.Calls {
+		if call.Err != "" {
+			continue
+		}
+		want, ok := truth[call.Query]
+		if !ok {
+			q, err := parse.Query(call.Query)
+			if err != nil {
+				return checked, fmt.Errorf("loadgen: bad read query %q: %w", call.Query, err)
+			}
+			want, err = core.Certain(q, rep.Shadow, core.EngineAuto)
+			if err != nil {
+				return checked, fmt.Errorf("loadgen: ground truth for %q: %w", call.Query, err)
+			}
+			truth[call.Query] = want
+		}
+		if call.Certain != want {
+			return checked, fmt.Errorf("loadgen: %q: served %v, ground truth %v", call.Query, call.Certain, want)
+		}
+		checked++
+	}
+	return checked, nil
+}

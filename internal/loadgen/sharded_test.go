@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/server"
+)
+
+// RunSharded through a real router over two shard servers: writes
+// partition, the quiesce phase is a no-op (same endpoint), and every
+// quiesced read validates against the shadow.
+func TestRunShardedThroughRouter(t *testing.T) {
+	const n = 2
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{
+			Engine:    engine.New(engine.Options{}),
+			Databases: map[string]*db.Database{},
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	rt := server.NewRouter(server.RouterOptions{
+		Shards:  urls,
+		Options: server.Options{Engine: engine.New(engine.Options{})},
+	})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	rep, err := RunSharded(context.Background(), rts.URL, ShardedOptions{
+		Keys:      24,
+		Writes:    30,
+		Readers:   3,
+		Reads:     20,
+		JoinEvery: 2,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("RunSharded: %v\n%s", err, rep)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("%d failed requests\n%s", rep.Failures, rep)
+	}
+	if rep.Reads != 3*20 || rep.Writes != 30 {
+		t.Fatalf("unexpected counts: %+v", rep)
+	}
+	checked, err := ValidateSharded(rep)
+	if err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+	if checked != rep.Reads {
+		t.Fatalf("checked %d of %d reads", checked, rep.Reads)
+	}
+}

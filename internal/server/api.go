@@ -51,18 +51,32 @@ type CertainResponse struct {
 	Cached   *bool  `json:"cached,omitempty"`
 }
 
-// DBCreateRequest asks for a new named database, optionally seeded with
-// inline facts (the cqa database syntax, one fact per line).
-type DBCreateRequest struct {
+// RelSig is one relation signature: name, arity, and the length of the
+// primary-key prefix.
+type RelSig struct {
 	Name  string `json:"name"`
-	Facts string `json:"facts,omitempty"`
+	Arity int    `json:"arity"`
+	Key   int    `json:"key"`
+}
+
+// DBCreateRequest asks for a new named database, optionally seeded with
+// inline facts (the cqa database syntax, one fact per line). Declare
+// registers relation signatures explicitly — the fact syntax can only
+// infer signatures from facts, so relations that must exist empty (a
+// router broadcasting a schema across shard servers) are declared here.
+type DBCreateRequest struct {
+	Name    string   `json:"name"`
+	Facts   string   `json:"facts,omitempty"`
+	Declare []RelSig `json:"declare,omitempty"`
 }
 
 // DBWriteRequest applies one atomic batch of facts to a named database
-// (POST /v1/db/insert and /v1/db/delete).
+// (POST /v1/db/insert and /v1/db/delete). Declare registers relation
+// signatures that ride with the batch (see DBCreateRequest.Declare).
 type DBWriteRequest struct {
-	Database string `json:"database"`
-	Facts    string `json:"facts"`
+	Database string   `json:"database"`
+	Facts    string   `json:"facts"`
+	Declare  []RelSig `json:"declare,omitempty"`
 }
 
 // DBWriteResponse acknowledges a write: the store version after the
@@ -80,10 +94,14 @@ type DBInfoResponse struct {
 	Databases []DBInfo `json:"databases"`
 }
 
-// DBInfo describes one named database from a consistent snapshot.
+// DBInfo describes one named database from a consistent cross-shard
+// view. Version is the global version (the sum of shard versions); the
+// durability counters are summed over shards — per-shard detail is in
+// GET /v1/shards.
 type DBInfo struct {
 	Name              string   `json:"name"`
 	Version           uint64   `json:"version"`
+	Shards            int      `json:"shards"`
 	Facts             int      `json:"facts"`
 	Relations         []string `json:"relations"`
 	Durable           bool     `json:"durable"`
@@ -91,6 +109,69 @@ type DBInfo struct {
 	SegmentRecords    uint64   `json:"segmentRecords"`
 	CheckpointVersion uint64   `json:"checkpointVersion"`
 	Checkpoints       uint64   `json:"checkpoints"`
+}
+
+// ShardsResponse is the GET /v1/shards payload: the serving role and
+// the shard topology of every named database.
+type ShardsResponse struct {
+	// Role is "primary", "follower", or "router".
+	Role string `json:"role"`
+	// DefaultShards is the shard count for databases created here.
+	DefaultShards int `json:"defaultShards"`
+	// Databases lists every member with per-shard stats; on a router it
+	// instead summarizes the downstream shard servers (see ShardHealth).
+	Databases []DBShards `json:"databases,omitempty"`
+	// Shards reports downstream shard-server health (router role only).
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// DBShards is the shard topology of one database.
+type DBShards struct {
+	Name     string      `json:"name"`
+	Shards   int         `json:"shards"`
+	Version  uint64      `json:"version"`
+	Durable  bool        `json:"durable"`
+	PerShard []ShardInfo `json:"perShard"`
+}
+
+// ShardInfo is one shard's store stats.
+type ShardInfo struct {
+	Index             int    `json:"index"`
+	Version           uint64 `json:"version"`
+	Facts             int    `json:"facts"`
+	WALRecords        uint64 `json:"walRecords"`
+	SegmentRecords    uint64 `json:"segmentRecords"`
+	TailRecords       uint64 `json:"tailRecords"`
+	TailFloor         uint64 `json:"tailFloor"`
+	Followers         int    `json:"followers"`
+	CheckpointVersion uint64 `json:"checkpointVersion"`
+	Checkpoints       uint64 `json:"checkpoints"`
+}
+
+// ShardHealth is a router's view of one downstream shard server.
+type ShardHealth struct {
+	Index   int    `json:"index"`
+	Primary string `json:"primary"`
+	Replica string `json:"replica,omitempty"`
+	// Alive reports whether the primary answered the last health probe;
+	// ReplicaAlive the same for the replica.
+	Alive        bool   `json:"alive"`
+	ReplicaAlive bool   `json:"replicaAlive,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// FactsResponse is the GET /v1/db/facts payload: one shard's facts in
+// the cqa database syntax, plus every relation signature (the syntax
+// cannot express relations that are empty on this shard), at one
+// consistent version. The router merges these to evaluate cross-shard
+// joins.
+type FactsResponse struct {
+	Database  string   `json:"database"`
+	Shard     int      `json:"shard"`
+	Shards    int      `json:"shards"`
+	Version   uint64   `json:"version"`
+	Relations []RelSig `json:"relations"`
+	Facts     string   `json:"facts"`
 }
 
 // BatchRequest fans one query across many databases (named, inline, or a

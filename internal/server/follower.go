@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"cqa/internal/shard"
+	"cqa/internal/store"
+)
+
+// Follower turns a read-only server into a WAL-shipping replica of a
+// primary: it discovers the primary's databases and shard topology via
+// GET /v1/shards, opens one following GET /v1/wal/stream per shard, and
+// applies the streams through store.Replica into locally adopted
+// sharded members. Reads on the follower are served from the replica
+// views; every applied batch invalidates the engine's result cache the
+// same way a local write would, and a snapshot-bootstrap reset (the
+// replica diverged or fell past the primary's retention floor) drops
+// the database's cached answers entirely — resets may reuse version
+// numbers of a divergent incarnation, so exact-version caching alone is
+// not enough there.
+//
+// A dead primary degrades the follower to serving its last applied
+// state; the streams reconnect with backoff and resume (or bootstrap)
+// when the primary returns. See docs/SHARDING.md.
+type Follower struct {
+	primary string
+	id      string
+	srv     *Server
+	client  *http.Client
+	retry   time.Duration
+	logf    func(format string, v ...any)
+
+	mu      sync.Mutex
+	tracked map[string]*followerDB
+
+	wg sync.WaitGroup
+}
+
+// followerDB is one replicated database: the serving facade over the
+// per-shard replicas, plus the hook serialization lock (concurrent
+// shard streams must report monotone global versions to the engine).
+type followerDB struct {
+	sh       *shard.Sharded
+	replicas []*store.Replica
+	hookMu   sync.Mutex
+}
+
+// FollowerOptions configures NewFollower.
+type FollowerOptions struct {
+	// Primary is the base URL of the primary server.
+	Primary string
+	// ID registers this follower in the primary's WAL retention floor;
+	// empty selects "follower".
+	ID string
+	// Server is the local read-only serving side; replicated databases
+	// are adopted into its store set.
+	Server *Server
+	// Client issues discovery and stream requests; nil selects a client
+	// without an overall timeout (streams are long-lived by design).
+	Client *http.Client
+	// Retry is the reconnect backoff; ≤ 0 selects 500ms.
+	Retry time.Duration
+	// Logf receives connection lifecycle messages; nil discards them.
+	Logf func(format string, v ...any)
+}
+
+// NewFollower builds a follower; Run starts it.
+func NewFollower(opt FollowerOptions) *Follower {
+	f := &Follower{
+		primary: opt.Primary,
+		id:      opt.ID,
+		srv:     opt.Server,
+		client:  opt.Client,
+		retry:   opt.Retry,
+		logf:    opt.Logf,
+		tracked: make(map[string]*followerDB),
+	}
+	if f.id == "" {
+		f.id = "follower"
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	if f.retry <= 0 {
+		f.retry = 500 * time.Millisecond
+	}
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	return f
+}
+
+// Run discovers the primary's topology, starts one stream per shard,
+// and keeps re-discovering (new databases appear on the primary) until
+// ctx is cancelled. It returns after every stream goroutine has
+// stopped.
+func (f *Follower) Run(ctx context.Context) {
+	for {
+		if topo, err := f.topology(ctx); err == nil {
+			for _, d := range topo.Databases {
+				f.track(ctx, d)
+			}
+		} else if ctx.Err() == nil {
+			f.logf("follower: discovery: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			f.wg.Wait()
+			return
+		case <-time.After(f.retry * 4):
+		}
+	}
+}
+
+// topology fetches the primary's GET /v1/shards document.
+func (f *Follower) topology(ctx context.Context) (*ShardsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primary+"/v1/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("primary /v1/shards: status %d", resp.StatusCode)
+	}
+	var topo ShardsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return nil, err
+	}
+	return &topo, nil
+}
+
+// track starts replicating one database if it is not already tracked.
+func (f *Follower) track(ctx context.Context, d DBShards) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.tracked[d.Name]; ok {
+		return
+	}
+	fdb := &followerDB{}
+	stores := make([]*store.Store, d.Shards)
+	for i := 0; i < d.Shards; i++ {
+		r := store.NewReplica(shardReplicaName(d.Name, i, d.Shards))
+		fdb.replicas = append(fdb.replicas, r)
+		stores[i] = r.Store()
+	}
+	fdb.sh = shard.NewShardedFromStores(d.Name, stores)
+	name := d.Name
+	for i, r := range fdb.replicas {
+		shardIdx := i
+		r.SetOnBatch(func(c store.Change) {
+			fdb.hookMu.Lock()
+			defer fdb.hookMu.Unlock()
+			v := fdb.sh.Refresh().Version()
+			f.srv.Engine().ApplyWrite(name, v, c.Rels)
+		})
+		r.SetOnReset(func(version uint64) {
+			fdb.hookMu.Lock()
+			defer fdb.hookMu.Unlock()
+			fdb.sh.Refresh()
+			// A reset may reuse version numbers of a divergent
+			// incarnation: forget everything cached for this database.
+			f.srv.Engine().DropDB(name)
+			f.logf("follower: %s shard %d reset to version %d", name, shardIdx, version)
+		})
+	}
+	if err := f.srv.Stores().Adopt(fdb.sh); err != nil {
+		f.logf("follower: adopting %s: %v", name, err)
+		return
+	}
+	f.tracked[name] = fdb
+	f.logf("follower: tracking %s (%d shard(s))", name, d.Shards)
+	for i := range fdb.replicas {
+		f.wg.Add(1)
+		go f.streamLoop(ctx, name, i, fdb.replicas[i])
+	}
+}
+
+// shardReplicaName names shard i's replica store like the primary names
+// its shard store, so streams and stats line up.
+func shardReplicaName(name string, i, n int) string {
+	if n == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s.s%d", name, i)
+}
+
+// streamLoop keeps one shard's WAL stream alive: resume from the
+// replica's version, apply until the stream breaks, back off,
+// reconnect. A replica that fell past the primary's retention floor —
+// or diverged — is reset by the stream's snapshot bootstrap.
+func (f *Follower) streamLoop(ctx context.Context, name string, shardIdx int, r *store.Replica) {
+	defer f.wg.Done()
+	for ctx.Err() == nil {
+		err := f.streamOnce(ctx, name, shardIdx, r)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			f.logf("follower: %s shard %d stream: %v", name, shardIdx, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.retry):
+		}
+	}
+}
+
+func (f *Follower) streamOnce(ctx context.Context, name string, shardIdx int, r *store.Replica) error {
+	u := fmt.Sprintf("%s/v1/wal/stream?db=%s&shard=%d&from=%d&follow=1&follower=%s",
+		f.primary, url.QueryEscape(name), shardIdx, r.Version(), url.QueryEscape(f.id))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	// ApplyStream returns when the stream ends (primary closed, network
+	// cut, or ctx cancellation closing the body) or on a protocol error;
+	// either way the pending uncommitted batch is discarded and the next
+	// connection resumes from the last committed version.
+	return r.ApplyStream(resp.Body)
+}
+
+// Versions reports each tracked database's global replica version.
+func (f *Follower) Versions() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.tracked))
+	for name, fdb := range f.tracked {
+		out[name] = fdb.sh.Version()
+	}
+	return out
+}

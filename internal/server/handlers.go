@@ -120,23 +120,26 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Database != "" {
-		// Named databases are versioned stores: answer on a consistent
-		// snapshot through the engine's result cache, so repeated checks
-		// at an unchanged version — or a version moved only by writes to
-		// relations q does not mention — skip evaluation entirely.
-		st := s.stores.Get(req.Database)
-		if st == nil {
+		// Named databases are sharded versioned stores: answer on one
+		// consistent cross-shard view through the engine's result cache,
+		// so repeated checks at an unchanged global version — or a version
+		// moved only by writes to relations q does not mention — skip
+		// evaluation entirely. Evaluation itself scatter-gathers:
+		// single-atom queries OR per-shard verdicts, joins run on the
+		// memoized union (engine.CertainSharded).
+		sh := s.stores.Get(req.Database)
+		if sh == nil {
 			s.writeError(w, http.StatusNotFound, "unknown_database",
 				fmt.Sprintf("no database named %q", req.Database))
 			return
 		}
-		snap := st.Snapshot()
+		view := sh.View()
 		v, err := s.bounded(r.Context(), func() (any, error) {
 			p, err := s.eng.Prepare(q)
 			if err != nil {
 				return nil, err
 			}
-			certain, cached, err := s.eng.CertainVersioned(q, req.Database, snap.Version, snap.DB)
+			certain, cached, err := s.eng.CertainShardedVersioned(q, req.Database, view)
 			if err != nil {
 				return nil, err
 			}
@@ -144,7 +147,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 				Certain:  certain,
 				Verdict:  string(p.Classification().Verdict),
 				Database: req.Database,
-				Version:  snap.Version,
+				Version:  view.Version(),
 				Cached:   &cached,
 			}, nil
 		})
@@ -215,14 +218,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// batches mix many databases, and their per-item answers are rarely
 	// re-asked at an identical version).
 	for _, name := range req.Databases {
-		st := s.stores.Get(name)
-		if st == nil {
+		sh := s.stores.Get(name)
+		if sh == nil {
 			resolveErrs = append(resolveErrs, fmt.Sprintf("no database named %q", name))
 			items = append(items, engine.Item{})
 			continue
 		}
 		resolveErrs = append(resolveErrs, "")
-		items = append(items, engine.Item{Query: q, DB: st.Snapshot().DB})
+		// The union of one consistent view; for single-shard members this
+		// is the snapshot itself, no merge happens.
+		items = append(items, engine.Item{Query: q, DB: sh.View().Union()})
 	}
 	for _, facts := range req.Facts {
 		d, err := parse.Database(facts)

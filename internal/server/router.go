@@ -1,0 +1,551 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"cqa/internal/db"
+	"cqa/internal/parse"
+	"cqa/internal/shard"
+)
+
+// Router is the cross-process serving tier: it fronts N shard servers
+// (each an ordinary cqad holding one slice of every database's blocks)
+// plus optional follower replicas, partitions writes by block owner,
+// and scatter-gathers reads.
+//
+//   - Writes: each fact routes to shard.Owner(rel, key, N); relation
+//     signatures are broadcast to every shard so negated atoms find
+//     their (possibly empty) relations everywhere.
+//   - Single-positive-atom reads: the query's touched shards (ground
+//     keys pin blocks) answer locally and the verdicts OR-combine —
+//     sound because blocks are whole on one shard (docs/SHARDING.md).
+//   - Everything else: the touched shards' facts are fetched, merged
+//     locally, and evaluated on the router's own engine.
+//
+// Reads prefer a shard's replica and fall back to its primary. A dead
+// shard degrades serving: queries whose touched set avoids it are
+// answered exactly; queries that need it get 503 partial_result. The
+// router holds no durable state, so a restarted shard rejoins the
+// moment its process is back — routing is pure hashing.
+type Router struct {
+	inner    *Router0
+	shards   []string
+	replicas []string
+	client   *http.Client
+	handler  http.Handler
+}
+
+// Router0 is the local half of a Router: a plain Server with no stores,
+// used for classification, inline-facts evaluation, stats, and the
+// shared middleware. (Named to keep the embedding explicit.)
+type Router0 = Server
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Shards are the shard servers' base URLs, in shard order. The
+	// length fixes N: block i of a write and the touched-shard set of a
+	// read use shard.Owner over this count.
+	Shards []string
+	// Replicas are optional follower base URLs, one per shard ("" =
+	// none); reads prefer them and fall back to the primary.
+	Replicas []string
+	// Options configures the router's local serving half (engine,
+	// admission control, timeouts, metrics). Stores and Databases are
+	// ignored: the router holds no data.
+	Options Options
+	// Client issues the fan-out requests; nil selects a client with a
+	// 10s timeout.
+	Client *http.Client
+}
+
+// NewRouter builds the routing tier over the given shard servers.
+func NewRouter(opt RouterOptions) *Router {
+	opt.Options.Stores = nil
+	opt.Options.Databases = nil
+	rt := &Router{
+		inner:    New(opt.Options),
+		shards:   opt.Shards,
+		replicas: opt.Replicas,
+		client:   opt.Client,
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/certain", rt.inner.api("certain_total", rt.handleCertain))
+	mux.Handle("POST /v1/db/create", rt.inner.api("db_create_total", rt.handleDBCreate))
+	mux.Handle("POST /v1/db/insert", rt.inner.api("db_insert_total", rt.handleDBWrite(false)))
+	mux.Handle("POST /v1/db/delete", rt.inner.api("db_delete_total", rt.handleDBWrite(true)))
+	mux.HandleFunc("GET /v1/db/info", rt.handleDBInfo)
+	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	// Everything else — classify, inline batch, stats, health, metrics —
+	// is served by the local half.
+	mux.Handle("/", rt.inner.Handler())
+	rt.handler = rt.inner.recoverPanics(mux)
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Inner exposes the local serving half (engine, registry, drain).
+func (rt *Router) Inner() *Server { return rt.inner }
+
+// readTargets lists the base URLs to try for a read of shard i:
+// replica first, then primary.
+func (rt *Router) readTargets(i int) []string {
+	if i < len(rt.replicas) && rt.replicas[i] != "" {
+		return []string{rt.replicas[i], rt.shards[i]}
+	}
+	return []string{rt.shards[i]}
+}
+
+// postJSON posts body to base+path and decodes the response into out.
+// Non-2xx responses decode the error envelope into an error.
+func (rt *Router) postJSON(ctx context.Context, base, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeShardResponse(resp, out)
+}
+
+// getJSON fetches base+path and decodes the response into out.
+func (rt *Router) getJSON(ctx context.Context, base, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeShardResponse(resp, out)
+}
+
+// decodeShardResponse decodes a shard server's reply: the payload on
+// 2xx, the error envelope otherwise.
+func decodeShardResponse(resp *http.Response, out any) error {
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error.Code != "" {
+			return &shardError{status: resp.StatusCode, code: eb.Error.Code, msg: eb.Error.Message}
+		}
+		return fmt.Errorf("shard returned status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// shardError is a structured error relayed from a shard server.
+type shardError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *shardError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
+
+// readShard tries a read request against shard i's targets in
+// preference order. A structured shard error (the shard is alive and
+// rejected the request) is returned as-is; connection failures fall
+// through to the next target.
+func (rt *Router) readShard(ctx context.Context, i int, do func(base string) error) error {
+	var last error
+	for _, base := range rt.readTargets(i) {
+		err := do(base)
+		if err == nil {
+			return nil
+		}
+		if _, structured := err.(*shardError); structured {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("shard %d unreachable: %w", i, last)
+}
+
+// writePartialResult reports a read that needed a dead shard: the
+// explicit partial-result error of degraded serving.
+func (rt *Router) writePartialResult(w http.ResponseWriter, err error) {
+	rt.inner.writeError(w, http.StatusServiceUnavailable, "partial_result",
+		fmt.Sprintf("query touches an unreachable shard: %v", err))
+}
+
+// handleCertain answers POST /v1/certain on the router. Inline-facts
+// requests evaluate locally; named databases scatter-gather.
+func (rt *Router) handleCertain(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.inner.writeDecodeError(w, err)
+		return
+	}
+	req, err := ParseCertainRequest(body)
+	if err != nil {
+		rt.inner.writeDecodeError(w, err)
+		return
+	}
+	if req.Database == "" {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		rt.inner.handleCertain(w, r)
+		return
+	}
+	q, err := parse.Query(req.Query)
+	if err != nil {
+		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
+		return
+	}
+	p, err := rt.inner.eng.Prepare(q)
+	if err != nil {
+		rt.inner.writeWorkError(w, err)
+		return
+	}
+	verdict := string(p.Classification().Verdict)
+	n := len(rt.shards)
+	touched, _ := shard.Touched(q, n)
+
+	if len(q.Lits) == 1 && !q.Lits[0].Neg {
+		// Verdict scatter: per-shard answers OR-combine for a single
+		// positive atom, so only the touched shards are asked and the
+		// first true short-circuits.
+		certain := false
+		for _, i := range touched {
+			var ans CertainResponse
+			err := rt.readShard(r.Context(), i, func(base string) error {
+				return rt.postJSON(r.Context(), base, "/v1/certain",
+					CertainRequest{Query: req.Query, Database: req.Database}, &ans)
+			})
+			if err != nil {
+				rt.relayShardError(w, err)
+				return
+			}
+			if ans.Certain {
+				certain = true
+				break
+			}
+		}
+		rt.inner.writeJSON(w, http.StatusOK, CertainResponse{
+			Certain: certain, Verdict: verdict, Database: req.Database,
+		})
+		return
+	}
+
+	// Facts-merge evaluation: fetch the touched shards' slices at their
+	// served versions, merge, and evaluate locally. Ground-key
+	// multi-atom queries confined to live shards stay answerable when
+	// other shards are down.
+	merged := db.New()
+	for _, i := range touched {
+		var fr FactsResponse
+		err := rt.readShard(r.Context(), i, func(base string) error {
+			return rt.getJSON(r.Context(), base, "/v1/db/facts?db="+url.QueryEscape(req.Database), &fr)
+		})
+		if err != nil {
+			rt.relayShardError(w, err)
+			return
+		}
+		if err := mergeFacts(merged, fr); err != nil {
+			rt.inner.writeError(w, http.StatusBadGateway, "bad_shard_facts", err.Error())
+			return
+		}
+	}
+	if err := parse.DeclareQueryRelations(merged, q); err != nil {
+		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
+		return
+	}
+	v, err := rt.inner.bounded(r.Context(), func() (any, error) {
+		return CertainResponse{
+			Certain: p.Certain(merged), Verdict: verdict, Database: req.Database,
+		}, nil
+	})
+	if err != nil {
+		rt.inner.writeWorkError(w, err)
+		return
+	}
+	rt.inner.writeJSON(w, http.StatusOK, v)
+}
+
+// relayShardError maps a fan-out failure: unknown_database and other
+// structured shard rejections relay with their status; connection
+// failures become the 503 partial_result of degraded serving.
+func (rt *Router) relayShardError(w http.ResponseWriter, err error) {
+	if se, ok := err.(*shardError); ok {
+		rt.inner.writeError(w, se.status, se.code, se.msg)
+		return
+	}
+	rt.writePartialResult(w, err)
+}
+
+// mergeFacts folds one shard's facts export into dst.
+func mergeFacts(dst *db.Database, fr FactsResponse) error {
+	for _, sig := range fr.Relations {
+		if err := dst.DeclareRelation(sig.Name, sig.Arity, sig.Key); err != nil {
+			return err
+		}
+	}
+	d, err := parse.Database(fr.Facts)
+	if err != nil {
+		return err
+	}
+	for _, rel := range d.RelationNames() {
+		for _, f := range d.Facts(rel) {
+			if err := dst.Insert(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// partition splits a parsed batch into per-shard fact texts, routing
+// each fact to its block's owner, and collects the batch's relation
+// signatures for broadcast.
+func (rt *Router) partition(d *db.Database, extra []RelSig) (perShard []string, sigs []RelSig, err error) {
+	n := len(rt.shards)
+	bufs := make([]strings.Builder, n)
+	for _, rel := range d.RelationNames() {
+		r := d.Relation(rel)
+		sigs = append(sigs, RelSig{Name: rel, Arity: r.Arity, Key: r.Key})
+		for _, f := range d.Facts(rel) {
+			line, err := parse.FormatFact(f, r.Key)
+			if err != nil {
+				return nil, nil, err
+			}
+			owner := shard.Owner(rel, f.Args[:r.Key], n)
+			bufs[owner].WriteString(line)
+			bufs[owner].WriteByte('\n')
+		}
+	}
+	seen := make(map[string]bool, len(sigs))
+	for _, s := range sigs {
+		seen[s.Name] = true
+	}
+	for _, s := range extra {
+		if !seen[s.Name] {
+			sigs = append(sigs, s)
+			seen[s.Name] = true
+		}
+	}
+	perShard = make([]string, n)
+	for i := range bufs {
+		perShard[i] = bufs[i].String()
+	}
+	return perShard, sigs, nil
+}
+
+// handleDBCreate broadcasts a create: every shard server gets the full
+// schema and its slice of the seed facts.
+func (rt *Router) handleDBCreate(w http.ResponseWriter, r *http.Request) {
+	var req DBCreateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		rt.inner.writeDecodeError(w, err)
+		return
+	}
+	if req.Name == "" {
+		rt.inner.writeError(w, http.StatusBadRequest, "missing_name", "request lacks a database name")
+		return
+	}
+	seed, err := parse.Database(req.Facts)
+	if err != nil {
+		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+		return
+	}
+	perShard, sigs, err := rt.partition(seed, req.Declare)
+	if err != nil {
+		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+		return
+	}
+	var total uint64
+	for i, base := range rt.shards {
+		var ack DBWriteResponse
+		err := rt.postJSON(r.Context(), base, "/v1/db/create",
+			DBCreateRequest{Name: req.Name, Facts: perShard[i], Declare: sigs}, &ack)
+		if err != nil {
+			rt.relayWriteError(w, i, err)
+			return
+		}
+		total += ack.Version
+	}
+	rt.inner.writeJSON(w, http.StatusOK, DBWriteResponse{
+		Database: req.Name, Version: total, Applied: seed.Size(),
+	})
+}
+
+// handleDBWrite partitions one write batch across the shard servers.
+// Every shard receives the batch's relation signatures (schema
+// broadcast) plus its own facts; the acknowledged global version is the
+// sum of shard versions.
+func (rt *Router) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/db/insert"
+	if del {
+		path = "/v1/db/delete"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req DBWriteRequest
+		if err := decodeJSON(r.Body, &req); err != nil {
+			rt.inner.writeDecodeError(w, err)
+			return
+		}
+		if req.Database == "" {
+			rt.inner.writeError(w, http.StatusBadRequest, "missing_database", "request lacks a database name")
+			return
+		}
+		batch, err := parse.Database(req.Facts)
+		if err != nil {
+			rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			return
+		}
+		perShard, sigs, err := rt.partition(batch, req.Declare)
+		if err != nil {
+			rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
+			return
+		}
+		resp := DBWriteResponse{Database: req.Database}
+		touched := make(map[string]bool)
+		for i, base := range rt.shards {
+			var ack DBWriteResponse
+			err := rt.postJSON(r.Context(), base, path,
+				DBWriteRequest{Database: req.Database, Facts: perShard[i], Declare: sigs}, &ack)
+			if err != nil {
+				rt.relayWriteError(w, i, err)
+				return
+			}
+			resp.Version += ack.Version
+			resp.Applied += ack.Applied
+			for _, rel := range ack.Touched {
+				touched[rel] = true
+			}
+		}
+		for rel := range touched {
+			resp.Touched = append(resp.Touched, rel)
+		}
+		sort.Strings(resp.Touched)
+		rt.inner.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// relayWriteError reports a write fan-out failure. A cross-shard write
+// is not atomic: shards before i already applied their slices, so the
+// error names the failing shard explicitly (partial_write) rather than
+// pretending nothing happened. Structured rejections (exists, bad
+// facts) relay as-is.
+func (rt *Router) relayWriteError(w http.ResponseWriter, i int, err error) {
+	if se, ok := err.(*shardError); ok {
+		rt.inner.writeError(w, se.status, se.code, se.msg)
+		return
+	}
+	rt.inner.writeError(w, http.StatusServiceUnavailable, "partial_write",
+		fmt.Sprintf("shard %d failed mid-batch; earlier shards applied their slices: %v", i, err))
+}
+
+// handleDBInfo aggregates every shard server's /v1/db/info by database
+// name: versions and counters sum, relations union.
+func (rt *Router) handleDBInfo(w http.ResponseWriter, r *http.Request) {
+	byName := make(map[string]*DBInfo)
+	var order []string
+	for i := range rt.shards {
+		var info DBInfoResponse
+		err := rt.readShard(r.Context(), i, func(base string) error {
+			return rt.getJSON(r.Context(), base, "/v1/db/info", &info)
+		})
+		if err != nil {
+			rt.writePartialResult(w, err)
+			return
+		}
+		for _, d := range info.Databases {
+			agg, ok := byName[d.Name]
+			if !ok {
+				agg = &DBInfo{Name: d.Name, Shards: 0, Durable: d.Durable}
+				byName[d.Name] = agg
+				order = append(order, d.Name)
+			}
+			agg.Shards++
+			agg.Version += d.Version
+			agg.Facts += d.Facts
+			agg.WALRecords += d.WALRecords
+			agg.SegmentRecords += d.SegmentRecords
+			agg.CheckpointVersion += d.CheckpointVersion
+			agg.Checkpoints += d.Checkpoints
+			for _, rel := range d.Relations {
+				if !containsStr(agg.Relations, rel) {
+					agg.Relations = append(agg.Relations, rel)
+				}
+			}
+		}
+	}
+	resp := DBInfoResponse{Databases: make([]DBInfo, 0, len(order))}
+	for _, name := range order {
+		resp.Databases = append(resp.Databases, *byName[name])
+	}
+	rt.inner.writeJSON(w, http.StatusOK, resp)
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// handleShards reports the router role and per-shard health: each
+// primary and replica is probed with a short /healthz request.
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	resp := ShardsResponse{Role: "router", DefaultShards: len(rt.shards)}
+	for i, base := range rt.shards {
+		h := ShardHealth{Index: i, Primary: base}
+		if i < len(rt.replicas) {
+			h.Replica = rt.replicas[i]
+		}
+		if err := rt.probe(r.Context(), base); err != nil {
+			h.Error = err.Error()
+		} else {
+			h.Alive = true
+		}
+		if h.Replica != "" {
+			h.ReplicaAlive = rt.probe(r.Context(), h.Replica) == nil
+		}
+		resp.Shards = append(resp.Shards, h)
+	}
+	rt.inner.writeJSON(w, http.StatusOK, resp)
+}
+
+// probe checks one server's liveness with a bounded /healthz request.
+func (rt *Router) probe(ctx context.Context, base string) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/engine"
 	"cqa/internal/metrics"
+	"cqa/internal/shard"
 	"cqa/internal/store"
 )
 
@@ -31,12 +32,19 @@ type Options struct {
 	// /v1/db/insert and /v1/db/delete. The map and its databases must not
 	// be mutated after New.
 	Databases map[string]*db.Database
-	// Stores is the versioned store set behind the named-database API;
-	// nil creates an empty memory-only set. Databases entries whose name
-	// is not already a member are adopted into it. The server registers
-	// each member's OnApply hook (result-cache invalidation + metrics),
-	// so stores handed in here must not have their own OnApply.
-	Stores *store.Set
+	// Stores is the sharded store set behind the named-database API;
+	// nil creates an empty memory-only set with Shards shards per new
+	// database. Databases entries whose name is not already a member are
+	// adopted into it as single-shard members. The server registers each
+	// member's OnApply hook (result-cache invalidation + metrics), so
+	// members handed in here must not have their own OnApply.
+	Stores *shard.Set
+	// Shards is the shard count for databases the server creates when
+	// Stores is nil; ≤ 0 selects 1.
+	Shards int
+	// ReadOnly rejects every mutating endpoint with 403 read_only — the
+	// follower serving mode, where writes arrive only via WAL streams.
+	ReadOnly bool
 	// MaxInFlight bounds concurrently admitted API requests; excess
 	// requests are shed with 429 + Retry-After. ≤ 0 selects 64.
 	MaxInFlight int
@@ -60,7 +68,7 @@ type Options struct {
 type Server struct {
 	opt      Options
 	eng      *engine.Engine
-	stores   *store.Set
+	stores   *shard.Set
 	reg      *metrics.Registry
 	sem      chan struct{}
 	draining atomic.Bool
@@ -90,7 +98,7 @@ func New(opt Options) *Server {
 	}
 	if opt.Stores == nil {
 		// Dir == "" cannot fail: no directory is scanned.
-		opt.Stores, _ = store.OpenSet(store.Options{})
+		opt.Stores, _ = shard.OpenSet(store.Options{}, opt.Shards)
 	}
 	s := &Server{
 		opt:    opt,
@@ -104,7 +112,7 @@ func New(opt Options) *Server {
 	// already claimed the name wins (the preload seeded it originally).
 	for name, d := range opt.Databases {
 		if s.stores.Get(name) == nil {
-			_ = s.stores.Adopt(store.NewMem(name, d))
+			_ = s.stores.Adopt(shard.NewShardedFromStores(name, []*store.Store{store.NewMem(name, d)}))
 		}
 	}
 	for _, name := range s.stores.Names() {
@@ -144,6 +152,12 @@ func New(opt Options) *Server {
 	mux.Handle("POST /v1/db/insert", s.api("db_insert_total", s.handleDBWrite(false)))
 	mux.Handle("POST /v1/db/delete", s.api("db_delete_total", s.handleDBWrite(true)))
 	mux.HandleFunc("GET /v1/db/info", s.handleDBInfo)
+	mux.HandleFunc("GET /v1/shards", s.handleShards)
+	mux.HandleFunc("GET /v1/db/facts", s.handleDBFacts)
+	// The WAL stream is long-lived by design: it is registered outside
+	// the api() middleware so a following replica neither occupies an
+	// admission slot nor trips the per-request timeout.
+	mux.HandleFunc("GET /v1/wal/stream", s.handleWALStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -160,13 +174,14 @@ func New(opt Options) *Server {
 	return s
 }
 
-// attach wires one store into the server: its writes invalidate the
-// engine's result cache (the hook runs under the store's writer lock, so
-// ApplyWrite sees versions in order) and feed the store metrics. Each
-// effective mutation is one WAL record.
-func (s *Server) attach(name string, st *store.Store) {
-	s.reg.Gauge("snapshot_version").Max(int64(st.Version()))
-	st.SetOnApply(func(c store.Change) {
+// attach wires one sharded store into the server: its batches
+// invalidate the engine's result cache (the hook runs under the
+// facade's write lock, so ApplyWrite sees global versions in order) and
+// feed the store metrics. Each effective mutation is one WAL record on
+// its owner shard.
+func (s *Server) attach(name string, sh *shard.Sharded) {
+	s.reg.Gauge("snapshot_version").Max(int64(sh.Version()))
+	sh.SetOnApply(func(c store.Change) {
 		s.eng.ApplyWrite(name, c.Version, c.Rels)
 		s.reg.Counter("wal_records").Add(uint64(c.Applied))
 		s.reg.Gauge("snapshot_version").Max(int64(c.Version))
@@ -181,6 +196,21 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Engine exposes the serving engine (for stats and shutdown).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Stores exposes the sharded store set (for follower wiring).
+func (s *Server) Stores() *shard.Set { return s.stores }
+
+// Attach registers the server's OnApply hook on an adopted member —
+// the follower replicator adopts databases after New.
+func (s *Server) Attach(name string, sh *shard.Sharded) { s.attach(name, sh) }
+
+// role names the serving role for /v1/shards.
+func (s *Server) role() string {
+	if s.opt.ReadOnly {
+		return "follower"
+	}
+	return "primary"
+}
 
 // Drain marks the server not-ready: /readyz starts answering 503 so load
 // balancers stop routing here, while in-flight and straggler requests

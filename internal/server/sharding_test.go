@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/shard"
+	"cqa/internal/store"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// The full single-primary replication path over real HTTP: a 2-shard
+// primary, a Follower replicating both shard WAL streams, reads served
+// read-only from the replica views, and result-cache invalidation
+// riding the stream.
+func TestFollowerReplicatesOverHTTP(t *testing.T) {
+	set, err := shard.OpenSet(store.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pts := newTestServer(t, Options{Stores: set, Databases: map[string]*db.Database{}})
+	mustCreate(t, pts.URL, DBCreateRequest{Name: "d", Facts: "R(k1 | a)\nR(k2 | b)\nR(k3 | c)\n"})
+
+	fsrv := New(Options{Engine: engine.New(engine.Options{}), ReadOnly: true})
+	fts := httptest.NewServer(fsrv.Handler())
+	t.Cleanup(fts.Close)
+	f := NewFollower(FollowerOptions{Primary: pts.URL, ID: "it", Server: fsrv, Retry: 20 * time.Millisecond, Logf: t.Logf})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan struct{})
+	go func() { f.Run(ctx); close(done) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	primaryVersion := func() uint64 {
+		return set.Get("d").Version()
+	}
+	caughtUp := func() bool {
+		return f.Versions()["d"] == primaryVersion()
+	}
+	waitFor(t, 5*time.Second, "initial catch-up", caughtUp)
+
+	// The follower serves the replicated database read-only.
+	resp := postJSON(t, fts.URL+"/v1/certain", CertainRequest{Query: "R(x | y)", Database: "d"})
+	ans := decodeBody[CertainResponse](t, resp)
+	if !ans.Certain {
+		t.Fatalf("follower answer: %+v", ans)
+	}
+	resp = postJSON(t, fts.URL+"/v1/db/insert", DBWriteRequest{Database: "d", Facts: "R(k9 | z)"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower write status = %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A write on the primary flows through the stream and flips a ground
+	// answer on the follower: k1's block gains a rival, so R(k1,a) holds
+	// in only some repairs.
+	resp = postJSON(t, fts.URL+"/v1/certain", CertainRequest{Query: "R('k1' | 'a')", Database: "d"})
+	ans = decodeBody[CertainResponse](t, resp)
+	if !ans.Certain {
+		t.Fatalf("k1's block is still a singleton; follower answer: %+v", ans)
+	}
+	postJSON(t, pts.URL+"/v1/db/insert", DBWriteRequest{Database: "d", Facts: "R(k1 | zz)\nR(k2 | zz)\nR(k3 | zz)\n"}).Body.Close()
+	waitFor(t, 5*time.Second, "write propagation", caughtUp)
+	resp = postJSON(t, fts.URL+"/v1/certain", CertainRequest{Query: "R('k1' | 'a')", Database: "d"})
+	ans = decodeBody[CertainResponse](t, resp)
+	if ans.Certain {
+		t.Fatalf("k1's block is now inconsistent; follower still certain: %+v", ans)
+	}
+	if ans.Version != primaryVersion() {
+		t.Fatalf("follower answered at version %d, primary at %d", ans.Version, primaryVersion())
+	}
+
+	// Per-shard follower registration shows up in the primary's stats.
+	sresp, err := http.Get(pts.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := decodeBody[ShardsResponse](t, sresp)
+	if topo.Role != "primary" || len(topo.Databases) != 1 || topo.Databases[0].Shards != 2 {
+		t.Fatalf("primary topology: %+v", topo)
+	}
+	for _, si := range topo.Databases[0].PerShard {
+		if si.Followers != 1 {
+			t.Fatalf("shard %d reports %d followers, want 1", si.Index, si.Followers)
+		}
+	}
+}
+
+// The router tier over two real shard servers: writes partition by
+// block owner, ground-key reads pin one shard, joins merge facts, and a
+// dead shard yields explicit partial_result degradation for queries
+// that touch it — while queries pinned to the live shard keep working.
+func TestRouterScatterGatherAndDegradation(t *testing.T) {
+	const n = 2
+	shardURLs := make([]string, n)
+	shardSrvs := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		_, ts := newTestServer(t, Options{Databases: map[string]*db.Database{}})
+		shardSrvs[i] = ts
+		shardURLs[i] = ts.URL
+	}
+	rt := NewRouter(RouterOptions{Shards: shardURLs, Options: Options{Engine: engine.New(engine.Options{})}})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	// Seed enough blocks that both shards own some, and record which
+	// shard owns which key.
+	var facts string
+	keysBy := map[int][]string{}
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("k%d", i)
+		keysBy[shard.Owner("R", []string{k}, n)] = append(keysBy[shard.Owner("R", []string{k}, n)], k)
+		facts += fmt.Sprintf("R(%s | v%d)\n", k, i)
+	}
+	if len(keysBy[0]) == 0 || len(keysBy[1]) == 0 {
+		t.Fatalf("test keys all landed on one shard: %v", keysBy)
+	}
+	facts += "S(w | k0)\n"
+	mustCreate(t, rts.URL, DBCreateRequest{Name: "d", Facts: facts})
+
+	// The partition actually split: neither shard holds all 17 facts.
+	for i, ts := range shardSrvs {
+		resp, err := http.Get(ts.URL + "/v1/db/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := decodeBody[DBInfoResponse](t, resp)
+		if len(info.Databases) != 1 || info.Databases[0].Facts == 0 || info.Databases[0].Facts >= 17 {
+			t.Fatalf("shard %d holds %+v, want a strict slice", i, info.Databases)
+		}
+	}
+
+	ask := func(query string) (*CertainResponse, *ErrorBody, int) {
+		resp := postJSON(t, rts.URL+"/v1/certain", CertainRequest{Query: query, Database: "d"})
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			ans := decodeBody[CertainResponse](t, resp)
+			return &ans, nil, resp.StatusCode
+		}
+		eb := decodeBody[ErrorBody](t, resp)
+		return nil, &eb, resp.StatusCode
+	}
+
+	// Variable-key single atom: scatter across both shards, certain.
+	if ans, _, _ := ask("R(x | y)"); ans == nil || !ans.Certain {
+		t.Fatalf("scatter read: %+v", ans)
+	}
+	// Ground-key single atom: pinned to its owner shard.
+	if ans, _, _ := ask(fmt.Sprintf("R('%s' | y)", keysBy[0][0])); ans == nil || !ans.Certain {
+		t.Fatalf("pinned read: %+v", ans)
+	}
+	// Join across shards: facts-merge path.
+	if ans, _, _ := ask("S(x | y), R(y | z)"); ans == nil || !ans.Certain {
+		t.Fatalf("join read: %+v", ans)
+	}
+	// Writes partition: the ack sums shard versions and the fact lands.
+	resp := postJSON(t, rts.URL+"/v1/db/insert", DBWriteRequest{Database: "d", Facts: "R(k1 | extra)"})
+	wr := decodeBody[DBWriteResponse](t, resp)
+	if wr.Applied != 1 {
+		t.Fatalf("router write: %+v", wr)
+	}
+	if ans, _, _ := ask("R('k1' | 'extra')"); ans == nil || ans.Certain {
+		t.Fatalf("k1's block is now inconsistent; want not certain, got %+v", ans)
+	}
+
+	// Kill shard 1. Queries pinned to shard 0 keep answering; queries
+	// touching shard 1 degrade to explicit 503 partial_result.
+	shardSrvs[1].Close()
+	if ans, _, _ := ask(fmt.Sprintf("R('%s' | y)", keysBy[0][0])); ans == nil || !ans.Certain {
+		t.Fatalf("pinned read after kill: %+v", ans)
+	}
+	_, eb, status := ask(fmt.Sprintf("R('%s' | y)", keysBy[1][0]))
+	if status != http.StatusServiceUnavailable || eb == nil || eb.Error.Code != "partial_result" {
+		t.Fatalf("dead-shard read: status %d, body %+v", status, eb)
+	}
+	// A scatter that a live shard can prove true short-circuits and
+	// still answers 200 despite the dead shard.
+	if ans, _, _ := ask("R(x | y)"); ans == nil || !ans.Certain {
+		t.Fatalf("scatter read with live-provable answer: %+v", ans)
+	}
+	// A scatter the live shards answer false needs the dead shard's
+	// verdict, so it degrades.
+	_, eb, status = ask("R(x | 'no_such_value')")
+	if status != http.StatusServiceUnavailable || eb == nil || eb.Error.Code != "partial_result" {
+		t.Fatalf("scatter read needing dead shard: status %d, body %+v", status, eb)
+	}
+	// So does the facts-merge join, which must fetch every shard's slice.
+	_, eb, status = ask("S(x | y), R(y | z)")
+	if status != http.StatusServiceUnavailable || eb == nil || eb.Error.Code != "partial_result" {
+		t.Fatalf("join read with dead shard: status %d, body %+v", status, eb)
+	}
+
+	// /v1/shards reports the dead shard.
+	hresp, err := http.Get(rts.URL + "/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := decodeBody[ShardsResponse](t, hresp)
+	if topo.Role != "router" || len(topo.Shards) != 2 || !topo.Shards[0].Alive || topo.Shards[1].Alive {
+		t.Fatalf("router health: %+v", topo)
+	}
+}
+
+// Reads through the router prefer a shard's replica and fall back to
+// the primary when the replica is down.
+func TestRouterPrefersReplicas(t *testing.T) {
+	_, pts := newTestServer(t, Options{Databases: map[string]*db.Database{}})
+	mustCreate(t, pts.URL, DBCreateRequest{Name: "d", Facts: "R(a | 1)"})
+
+	// The "replica" is a plain server with different content, so the
+	// test can tell who answered.
+	_, replicaTS := newTestServer(t, Options{Databases: map[string]*db.Database{}})
+	mustCreate(t, replicaTS.URL, DBCreateRequest{Name: "d", Facts: "R(a | 1)\nR(a | 2)\n"})
+
+	rt := NewRouter(RouterOptions{
+		Shards:   []string{pts.URL},
+		Replicas: []string{replicaTS.URL},
+		Options:  Options{Engine: engine.New(engine.Options{})},
+	})
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	resp := postJSON(t, rts.URL+"/v1/certain", CertainRequest{Query: "R('a' | '1')", Database: "d"})
+	ans := decodeBody[CertainResponse](t, resp)
+	if ans.Certain {
+		t.Fatalf("replica's inconsistent block should answer (not certain): %+v", ans)
+	}
+	replicaTS.Close()
+	resp = postJSON(t, rts.URL+"/v1/certain", CertainRequest{Query: "R('a' | '1')", Database: "d"})
+	ans = decodeBody[CertainResponse](t, resp)
+	if !ans.Certain {
+		t.Fatalf("primary fallback should answer (certain): %+v", ans)
+	}
+}

@@ -9,15 +9,46 @@ import (
 	"cqa/internal/store"
 )
 
-// The mutable-database API: named databases live in versioned stores
-// (internal/store) — writers bump a version, readers answer on immutable
-// snapshots, and every write flows through the store's WAL when the
-// daemon runs with a data directory. See docs/STORE.md.
+// The mutable-database API: named databases live in sharded versioned
+// stores (internal/shard over internal/store) — a write facade routes
+// every fact to its block's owner shard, writers bump a global version,
+// readers answer on immutable cross-shard views, and every write flows
+// through the owner shard's WAL when the daemon runs with a data
+// directory. See docs/STORE.md and docs/SHARDING.md.
 
-// handleDBCreate answers POST /v1/db/create: a new named store, durable
-// when the server's set has a data directory, optionally seeded with
-// inline facts.
+// denyReadOnly rejects mutating requests on a follower. It reports true
+// when the request was handled (rejected).
+func (s *Server) denyReadOnly(w http.ResponseWriter) bool {
+	if !s.opt.ReadOnly {
+		return false
+	}
+	s.writeError(w, http.StatusForbidden, "read_only",
+		"this server is a read-only follower; write to the primary")
+	return true
+}
+
+// applyDeclares registers the request's explicit relation signatures on
+// every shard before any facts apply — the way a router broadcasts a
+// schema so relations empty on some shard are still declared there
+// (negated atoms need the empty relation to exist).
+func applyDeclares(sh interface {
+	Declare(rel string, arity, key int) (store.Change, error)
+}, decls []RelSig) error {
+	for _, d := range decls {
+		if _, err := sh.Declare(d.Name, d.Arity, d.Key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleDBCreate answers POST /v1/db/create: a new named sharded store,
+// durable when the server's set has a data directory, optionally seeded
+// with inline facts and explicit declarations.
 func (s *Server) handleDBCreate(w http.ResponseWriter, r *http.Request) {
+	if s.denyReadOnly(w) {
+		return
+	}
 	var req DBCreateRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeDecodeError(w, err)
@@ -33,7 +64,7 @@ func (s *Server) handleDBCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
 		return
 	}
-	st, err := s.stores.Create(req.Name)
+	sh, err := s.stores.Create(req.Name)
 	switch {
 	case errors.Is(err, store.ErrExists):
 		s.writeError(w, http.StatusConflict, "database_exists",
@@ -43,25 +74,32 @@ func (s *Server) handleDBCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_name", err.Error())
 		return
 	}
-	s.attach(req.Name, st)
-	if _, err := st.ApplyDB(seed); err != nil {
+	s.attach(req.Name, sh)
+	if err := applyDeclares(sh, req.Declare); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "bad_declare", err.Error())
+		return
+	}
+	if _, err := sh.ApplyDB(seed); err != nil {
 		s.writeError(w, http.StatusInternalServerError, "write_failed", err.Error())
 		return
 	}
-	snap := st.Snapshot()
 	s.writeJSON(w, http.StatusOK, DBWriteResponse{
 		Database: req.Name,
-		Version:  snap.Version,
+		Version:  sh.Version(),
 		Applied:  seed.Size(),
 	})
 }
 
 // handleDBWrite returns the handler for POST /v1/db/insert (del=false)
 // or /v1/db/delete (del=true): one atomic batch of facts applied to a
-// named store. The whole batch is one version bump; no-op facts
-// (duplicate inserts, absent deletes) are filtered and do not bump.
+// named database, each fact routed to its block's owner shard. The
+// whole batch is one global version bump; no-op facts (duplicate
+// inserts, absent deletes) are filtered and do not bump.
 func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.denyReadOnly(w) {
+			return
+		}
 		var req DBWriteRequest
 		if err := decodeJSON(r.Body, &req); err != nil {
 			s.writeDecodeError(w, err)
@@ -71,8 +109,8 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 			s.writeError(w, http.StatusBadRequest, "missing_database", "request lacks a database name")
 			return
 		}
-		st := s.stores.Get(req.Database)
-		if st == nil {
+		sh := s.stores.Get(req.Database)
+		if sh == nil {
 			s.writeError(w, http.StatusNotFound, "unknown_database",
 				fmt.Sprintf("no database named %q", req.Database))
 			return
@@ -82,11 +120,15 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 			s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
 			return
 		}
+		if err := applyDeclares(sh, req.Declare); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "bad_declare", err.Error())
+			return
+		}
 		var change store.Change
 		if del {
-			change, err = st.DeleteDB(batch)
+			change, err = sh.DeleteDB(batch)
 		} else {
-			change, err = st.ApplyDB(batch)
+			change, err = sh.ApplyDB(batch)
 		}
 		if err != nil {
 			s.writeError(w, http.StatusUnprocessableEntity, "write_failed", err.Error())
@@ -94,7 +136,7 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 		}
 		s.writeJSON(w, http.StatusOK, DBWriteResponse{
 			Database: req.Database,
-			Version:  st.Version(),
+			Version:  sh.Version(),
 			Applied:  change.Applied,
 			Touched:  change.Rels,
 		})
@@ -102,29 +144,36 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 }
 
 // handleDBInfo answers GET /v1/db/info: every named database with its
-// current version, size, relations, and durability counters — all read
-// from one consistent snapshot per store.
+// global version, total size, relations, and aggregated durability
+// counters — all read from one consistent cross-shard view per
+// database. Per-shard detail lives in GET /v1/shards.
 func (s *Server) handleDBInfo(w http.ResponseWriter, r *http.Request) {
 	names := s.stores.Names()
 	resp := DBInfoResponse{Databases: make([]DBInfo, 0, len(names))}
 	for _, name := range names {
-		st := s.stores.Get(name)
-		if st == nil { // deleted between Names and Get; nothing to report
+		sh := s.stores.Get(name)
+		if sh == nil { // deleted between Names and Get; nothing to report
 			continue
 		}
-		snap := st.Snapshot()
-		stats := st.Stats()
-		resp.Databases = append(resp.Databases, DBInfo{
-			Name:              name,
-			Version:           snap.Version,
-			Facts:             snap.DB.Size(),
-			Relations:         snap.DB.RelationNames(),
-			Durable:           st.Durable(),
-			WALRecords:        stats.WALRecords,
-			SegmentRecords:    stats.SegmentRecords,
-			CheckpointVersion: stats.CheckpointVersion,
-			Checkpoints:       stats.Checkpoints,
-		})
+		view := sh.View()
+		info := DBInfo{
+			Name:    name,
+			Version: view.Version(),
+			Shards:  sh.NumShards(),
+			// Declares are broadcast, so shard 0 knows every relation.
+			Relations: view.Shard(0).RelationNames(),
+			Durable:   sh.Durable(),
+		}
+		for i := 0; i < view.NumShards(); i++ {
+			info.Facts += view.Shard(i).Size()
+		}
+		for _, st := range sh.Stats() {
+			info.WALRecords += st.WALRecords
+			info.SegmentRecords += st.SegmentRecords
+			info.CheckpointVersion += st.CheckpointVersion
+			info.Checkpoints += st.Checkpoints
+		}
+		resp.Databases = append(resp.Databases, info)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

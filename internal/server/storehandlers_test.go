@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cqa/internal/shard"
 	"cqa/internal/store"
 )
 
@@ -129,7 +130,7 @@ func TestResultCacheInvalidationOverHTTP(t *testing.T) {
 // restart of the whole stack.
 func TestDurableStoresSurviveRestart(t *testing.T) {
 	dir := t.TempDir()
-	set, err := store.OpenSet(store.Options{Dir: dir, Sync: false})
+	set, err := shard.OpenSet(store.Options{Dir: dir, Sync: false}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestDurableStoresSurviveRestart(t *testing.T) {
 		t.Fatal("no k.wal/k.snap files on disk after close")
 	}
 
-	set2, err := store.OpenSet(store.Options{Dir: dir})
+	set2, err := shard.OpenSet(store.Options{Dir: dir}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package shard
+
+import "cqa/internal/schema"
+
+// Touched computes which of n shards a query's answer can depend on.
+// An atom whose key positions are all constants pins a single block —
+// the one with exactly those key values — and therefore a single shard;
+// an atom with a variable in a key position can match blocks anywhere.
+// The query touches the union over its atoms (negated atoms count: a
+// certain answer depends on what their blocks contain).
+//
+// The returned slice lists touched shards in ascending order; all
+// reports that every shard is touched (any variable-key atom). Touched
+// is the degraded-serving predicate: a query whose touched set avoids a
+// dead shard can still be answered exactly.
+func Touched(q schema.Query, n int) (shards []int, all bool) {
+	return TouchedOwned(q, n, func(rel string, key []string) int { return Owner(rel, key, n) })
+}
+
+// TouchedOwned is Touched under an explicit block-placement function —
+// View.Owner when pruning against a view, so reads follow whatever
+// placement wrote the data.
+func TouchedOwned(q schema.Query, n int, owner func(rel string, key []string) int) (shards []int, all bool) {
+	if n <= 1 {
+		return []int{0}, true
+	}
+	seen := make(map[int]bool)
+	for _, a := range q.Atoms() {
+		if !a.KeyIsGround() {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = i
+			}
+			return out, true
+		}
+		key := make([]string, 0, a.Key)
+		for _, t := range a.KeyTerms() {
+			key = append(key, t.Name)
+		}
+		seen[owner(a.Rel, key)] = true
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			shards = append(shards, i)
+		}
+	}
+	return shards, false
+}

@@ -43,6 +43,11 @@ var ErrClosed = errors.New("store: closed")
 // checkpoints when Options.CheckpointEvery ≤ 0.
 const DefaultCheckpointEvery = 1024
 
+// DefaultMaxFollowerLag is the version lag beyond which a registered
+// follower is evicted from the retention floor when
+// Options.MaxFollowerLag ≤ 0.
+const DefaultMaxFollowerLag = 4096
+
 // Options configures a store.
 type Options struct {
 	// Dir is the data directory; "" selects a memory-only store (no
@@ -56,6 +61,12 @@ type Options struct {
 	// can lose writes still in the OS page cache (but never corrupt:
 	// replay stops at the torn tail either way).
 	Sync bool
+	// MaxFollowerLag caps how many versions behind the current one a
+	// registered follower may hold the retention floor. A follower lagging
+	// further is evicted: its records are reclaimed and its next stream
+	// request falls back to a snapshot bootstrap. ≤ 0 selects
+	// DefaultMaxFollowerLag.
+	MaxFollowerLag int
 }
 
 // Snapshot is one immutable version of the database. DB must not be
@@ -97,6 +108,9 @@ type Stats struct {
 	WALRecords        uint64 // records appended since open
 	RecoveredRecords  uint64 // WAL records replayed at open
 	SegmentRecords    uint64 // records in the current WAL segment
+	TailRecords       uint64 // records retained in memory for streaming
+	TailFloor         uint64 // versions ≤ TailFloor need a snapshot bootstrap
+	Followers         int    // registered stream followers
 }
 
 // Store is a mutable, versioned fact database. Any number of goroutines
@@ -114,21 +128,44 @@ type Store struct {
 	cur atomic.Pointer[Snapshot]
 
 	segRecords  uint64 // records in the current WAL segment
+	sinceCkpt   uint64 // records appended since the last checkpoint
 	walRecords  atomic.Uint64
 	recovered   uint64
 	checkpoints atomic.Uint64
 	checkpointV atomic.Uint64
+
+	// Streaming state (under mu). tail holds the encoded frames of every
+	// record with version > tailFloor, serving follower catch-up without
+	// touching disk; followers maps follower id → acknowledged version,
+	// and holds the retention floor down (see retentionFloorLocked).
+	tail      []tailRec
+	tailFloor uint64
+	followers map[string]uint64
+	changed   chan struct{} // closed and replaced on every publish
+}
+
+// tailRec is one retained record: its version and its encoded frame.
+type tailRec struct {
+	version uint64
+	frame   []byte
 }
 
 // NewMem returns a memory-only store adopting base (nil selects an
 // empty database) as its version-0 snapshot. The caller must not mutate
 // base afterwards.
 func NewMem(name string, base *db.Database) *Store {
+	return NewMemAt(name, base, 0)
+}
+
+// NewMemAt is NewMem starting at an arbitrary version — the seed of a
+// follower replica bootstrapped from a primary's snapshot.
+func NewMemAt(name string, base *db.Database, version uint64) *Store {
 	if base == nil {
 		base = db.New()
 	}
-	s := &Store{name: name}
-	s.cur.Store(&Snapshot{DB: base, Version: 0})
+	s := &Store{name: name, followers: make(map[string]uint64), changed: make(chan struct{})}
+	s.tailFloor = version
+	s.cur.Store(&Snapshot{DB: base, Version: version})
 	return s
 }
 
@@ -139,6 +176,9 @@ func NewMem(name string, base *db.Database) *Store {
 func Open(name string, opt Options) (*Store, error) {
 	if opt.CheckpointEvery <= 0 {
 		opt.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opt.MaxFollowerLag <= 0 {
+		opt.MaxFollowerLag = DefaultMaxFollowerLag
 	}
 	if opt.Dir == "" {
 		s := NewMem(name, nil)
@@ -151,7 +191,7 @@ func Open(name string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{name: name, opt: opt}
+	s := &Store{name: name, opt: opt, followers: make(map[string]uint64), changed: make(chan struct{})}
 
 	base := db.New()
 	var version uint64
@@ -182,6 +222,7 @@ func Open(name string, opt Options) (*Store, error) {
 			if rec.version <= ckpt {
 				continue
 			}
+			s.sinceCkpt++
 			if err := applyOp(base, rec.op); err != nil {
 				return nil, fmt.Errorf("store: replaying WAL for %s: %w", name, err)
 			}
@@ -190,8 +231,21 @@ func Open(name string, opt Options) (*Store, error) {
 			}
 		}
 		s.recovered = uint64(len(recs))
+		// Rebuild the streaming tail from the retained records, so a
+		// restarted primary can still serve incremental catch-up for
+		// versions the previous process retained on disk.
+		s.tailFloor = version
+		for _, rec := range recs {
+			if rec.version-1 < s.tailFloor {
+				s.tailFloor = rec.version - 1
+			}
+			s.tail = append(s.tail, tailRec{version: rec.version, frame: encodeRecord(rec)})
+		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
+	}
+	if len(s.tail) == 0 {
+		s.tailFloor = version
 	}
 
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
@@ -205,6 +259,11 @@ func Open(name string, opt Options) (*Store, error) {
 
 func (s *Store) walPath() string  { return filepath.Join(s.opt.Dir, s.name+".wal") }
 func (s *Store) snapPath() string { return filepath.Join(s.opt.Dir, s.name+".snap") }
+
+// ValidName reports whether name is acceptable as a store name —
+// filesystem- and URL-safe tokens only. Exported for the sharded set,
+// which must validate logical names before deriving shard store names.
+func ValidName(name string) error { return validName(name) }
 
 // validName restricts store names to filesystem- and URL-safe tokens.
 func validName(name string) error {
@@ -323,6 +382,7 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 	version := cur.Version + 1
 	var change Change
 	var logged []byte
+	var frames []tailRec
 	relSet := make(map[string]bool)
 	for _, o := range ops {
 		effective, block, err := applyEffective(next, o)
@@ -337,8 +397,10 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 		if block != nil {
 			change.Blocks = append(change.Blocks, BlockRef{Rel: o.rel, Key: block})
 		}
+		frame := encodeRecord(walRec{version: version, op: o})
+		frames = append(frames, tailRec{version: version, frame: frame})
 		if s.wal != nil {
-			logged = append(logged, encodeRecord(walRec{version: version, op: o})...)
+			logged = append(logged, frame...)
 		}
 	}
 	if change.Applied == 0 {
@@ -365,6 +427,7 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 		}
 		n := uint64(change.Applied)
 		s.segRecords += n
+		s.sinceCkpt += n
 		s.walRecords.Add(n)
 	}
 
@@ -379,15 +442,96 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 	}
 
 	s.cur.Store(&Snapshot{DB: next, Version: version})
+	s.tail = append(s.tail, frames...)
+	s.notifyLocked()
 	if s.onApply != nil {
 		s.onApply(change)
 	}
-	if s.wal != nil && s.segRecords >= uint64(s.opt.CheckpointEvery) {
+	if s.wal != nil && s.sinceCkpt >= uint64(s.opt.CheckpointEvery) {
 		if err := s.checkpointLocked(); err != nil {
 			return change, fmt.Errorf("store: checkpoint failed (write applied): %w", err)
 		}
+	} else if s.wal == nil {
+		s.maintainTailLocked(version)
 	}
 	return change, nil
+}
+
+// notifyLocked wakes Changed waiters by closing and replacing the
+// broadcast channel.
+func (s *Store) notifyLocked() {
+	if s.changed == nil {
+		s.changed = make(chan struct{})
+		return
+	}
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Changed returns a channel closed at the next publish (or Close). Take
+// it, check the version, and take a fresh one to wait again.
+func (s *Store) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.changed == nil {
+		s.changed = make(chan struct{})
+	}
+	return s.changed
+}
+
+// maintainTailLocked bounds a memory-only store's streaming tail: once
+// it exceeds twice the checkpoint interval, records below the retention
+// floor are dropped (a durable store prunes at checkpoint instead).
+func (s *Store) maintainTailLocked(version uint64) {
+	every := s.opt.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	if len(s.tail) <= 2*every {
+		return
+	}
+	s.pruneTailLocked(s.retentionFloorLocked(version))
+}
+
+// retentionFloorLocked computes the version below which records may be
+// reclaimed: target (the checkpoint or current version), held down by
+// the slowest registered follower. Followers lagging beyond
+// MaxFollowerLag are evicted first — their next stream request gets a
+// snapshot bootstrap rather than holding retention forever.
+func (s *Store) retentionFloorLocked(target uint64) uint64 {
+	lag := uint64(s.opt.MaxFollowerLag)
+	if lag == 0 {
+		lag = DefaultMaxFollowerLag
+	}
+	cur := s.cur.Load().Version
+	for id, ack := range s.followers {
+		if cur-ack > lag {
+			delete(s.followers, id)
+		}
+	}
+	floor := target
+	for _, ack := range s.followers {
+		if ack < floor {
+			floor = ack
+		}
+	}
+	return floor
+}
+
+// pruneTailLocked drops tail records with version ≤ floor and raises
+// the tail floor. It never lowers the floor.
+func (s *Store) pruneTailLocked(floor uint64) {
+	if floor < s.tailFloor {
+		floor = s.tailFloor
+	}
+	i := 0
+	for i < len(s.tail) && s.tail[i].version <= floor {
+		i++
+	}
+	if i > 0 {
+		s.tail = append([]tailRec(nil), s.tail[i:]...)
+	}
+	s.tailFloor = floor
 }
 
 // applyEffective applies one op to next, reporting whether it changed
@@ -445,10 +589,42 @@ func (s *Store) checkpointLocked() error {
 	// Only after the checkpoint is durably in place may the log shrink.
 	// A crash in between double-covers some records; replay's version
 	// filter (and op idempotence) makes that harmless.
-	if err := s.wal.Truncate(0); err != nil {
-		return err
+	//
+	// Retention floor: the checkpoint covers everything ≤ cur.Version,
+	// but a registered follower still needs records after its last
+	// acknowledged version, so the log keeps the suffix above
+	// min(checkpoint version, slowest follower ack) instead of
+	// truncating to zero unconditionally.
+	floor := s.retentionFloorLocked(cur.Version)
+	s.pruneTailLocked(floor)
+	if len(s.tail) == 0 {
+		if err := s.wal.Truncate(0); err != nil {
+			return err
+		}
+		s.segRecords = 0
+	} else {
+		var buf []byte
+		for _, tr := range s.tail {
+			buf = append(buf, tr.frame...)
+		}
+		tmp := s.walPath() + ".tmp"
+		if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, s.walPath()); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		// The old append fd points at the replaced inode; reopen.
+		f, err := os.OpenFile(s.walPath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.wal.Close()
+		s.wal = f
+		s.segRecords = uint64(len(s.tail))
 	}
-	s.segRecords = 0
+	s.sinceCkpt = 0
 	s.checkpoints.Add(1)
 	s.checkpointV.Store(cur.Version)
 	return nil
@@ -464,11 +640,12 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.notifyLocked() // wake stream waiters so they observe the close
 	if s.wal == nil {
 		return nil
 	}
 	var err error
-	if s.segRecords > 0 {
+	if s.sinceCkpt > 0 {
 		err = s.checkpointLocked()
 	}
 	if cerr := s.wal.Close(); err == nil {
@@ -482,6 +659,9 @@ func (s *Store) Stats() Stats {
 	cur := s.cur.Load()
 	s.mu.Lock()
 	seg := s.segRecords
+	tailN := uint64(len(s.tail))
+	tailFloor := s.tailFloor
+	followers := len(s.followers)
 	s.mu.Unlock()
 	return Stats{
 		Version:           cur.Version,
@@ -490,5 +670,8 @@ func (s *Store) Stats() Stats {
 		WALRecords:        s.walRecords.Load(),
 		RecoveredRecords:  s.recovered,
 		SegmentRecords:    seg,
+		TailRecords:       tailN,
+		TailFloor:         tailFloor,
+		Followers:         followers,
 	}
 }
