@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke shard-smoke chaos bench-shard clean
+.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke shard-smoke obs-smoke chaos bench-shard clean
 
-check: vet test race fuzz bench bench-smoke shard-smoke
+check: vet test race fuzz bench bench-smoke shard-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,30 @@ shard-smoke:
 
 chaos:
 	CHAOS_ROUNDS=20 $(GO) test -run TestChaosKillRecover -count=1 -v ./internal/shard/chaostest
+
+# Observability smoke: boot a router over two real cqad shard processes
+# and run the cqaload coherence checker against it — traced explain
+# queries, /debug/traces cross-checks, and a linted /metrics Prometheus
+# scrape whose counters must move with the traffic (docs/OBSERVABILITY.md).
+obs-smoke:
+	$(GO) build -o /tmp/cqad-obs-smoke ./cmd/cqad
+	$(GO) build -o /tmp/cqaload-obs-smoke ./cmd/cqaload
+	@rm -f /tmp/cqad-obs-s0.addr /tmp/cqad-obs-s1.addr /tmp/cqad-obs-rt.addr; \
+	/tmp/cqad-obs-smoke -addr 127.0.0.1:0 -addr-file /tmp/cqad-obs-s0.addr & s0=$$!; \
+	/tmp/cqad-obs-smoke -addr 127.0.0.1:0 -addr-file /tmp/cqad-obs-s1.addr & s1=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/cqad-obs-s0.addr ] && [ -s /tmp/cqad-obs-s1.addr ] && break; sleep 0.1; done; \
+	a0=$$(cat /tmp/cqad-obs-s0.addr) && a1=$$(cat /tmp/cqad-obs-s1.addr) \
+	    || { kill $$s0 $$s1 2>/dev/null; exit 1; }; \
+	/tmp/cqad-obs-smoke -addr 127.0.0.1:0 -addr-file /tmp/cqad-obs-rt.addr \
+	    -route "http://$$a0,http://$$a1" -slow-query 5s & rt=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/cqad-obs-rt.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/cqad-obs-rt.addr) || { kill $$s0 $$s1 $$rt 2>/dev/null; exit 1; }; \
+	echo "router on $$addr over $$a0 $$a1"; \
+	/tmp/cqaload-obs-smoke -obs -url "http://$$addr" -requests 8 \
+	    || { kill -9 $$s0 $$s1 $$rt 2>/dev/null; exit 1; }; \
+	kill -TERM $$s0 $$s1 $$rt; wait $$s0 $$s1 $$rt; \
+	rm -f /tmp/cqad-obs-smoke /tmp/cqaload-obs-smoke /tmp/cqad-obs-*.addr; \
+	echo "obs-smoke OK"
 
 # Read-throughput scaling of the sharded tier: router over 1 vs 4 shard
 # processes under the phased cqaload workload, regenerating

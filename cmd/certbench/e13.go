@@ -14,6 +14,7 @@ import (
 	"cqa/internal/engine"
 	"cqa/internal/gen"
 	"cqa/internal/loadgen"
+	"cqa/internal/metrics"
 	"cqa/internal/parse"
 	"cqa/internal/server"
 )
@@ -102,7 +103,7 @@ func runE13(quick bool) error {
 
 	// The operational surfaces must reflect the traffic.
 	want := float64(rep.Total + queries) // loadgen requests + the classify warm-up
-	stats, vars, metricsLine, err := scrapeOps(ts.URL)
+	stats, vars, metricsText, err := scrapeOps(ts.URL)
 	if err != nil {
 		return err
 	}
@@ -120,10 +121,21 @@ func runE13(quick bool) error {
 	if !ok || lat["count"].(float64) != want || lat["p99_ns"].(float64) <= 0 {
 		return fmt.Errorf("/debug/vars latency histogram wrong: %v", cqad["request_latency"])
 	}
-	for _, frag := range []string{"requests_total=", "request_latency{count=", "engine_cache_hit_rate=", "p99="} {
-		if !strings.Contains(metricsLine, frag) {
-			return fmt.Errorf("/metrics lacks %q: %s", frag, metricsLine)
-		}
+	if err := metrics.LintPrometheus(metricsText); err != nil {
+		return fmt.Errorf("/metrics exposition does not lint: %w", err)
+	}
+	exp, err := metrics.ParsePrometheus(metricsText)
+	if err != nil {
+		return err
+	}
+	if got, ok := exp.Value("requests_total"); !ok || got != want {
+		return fmt.Errorf("/metrics requests_total = %v (present=%v), want %v", got, ok, want)
+	}
+	if got, ok := exp.Value("request_latency_seconds_count"); !ok || got != want {
+		return fmt.Errorf("/metrics request_latency_seconds_count = %v (present=%v), want %v", got, ok, want)
+	}
+	if got, ok := exp.Value("engine_cache_hit_rate"); !ok || got <= 0 {
+		return fmt.Errorf("/metrics engine_cache_hit_rate = %v (present=%v), want > 0", got, ok)
 	}
 	fmt.Printf("  ops surfaces: requests_total=%v cache_hit_rate=%.3f p99=%s (consistent across /v1/stats, /debug/vars, /metrics)\n",
 		want, stats.Engine.CacheHitRate, time.Duration(int64(lat["p99_ns"].(float64))))

@@ -11,6 +11,7 @@ import (
 
 	"cqa/internal/engine"
 	"cqa/internal/loadgen"
+	"cqa/internal/metrics"
 	"cqa/internal/server"
 	"cqa/internal/shard"
 	"cqa/internal/store"
@@ -137,7 +138,7 @@ func runE14(quick bool) error {
 	fmt.Println("  incremental invalidation: re-read=hit, write T(unmentioned)=hit, write R(mentioned)=miss then hit — only relevant writes invalidate")
 
 	// The ops surfaces must reflect the store activity.
-	stats, _, metricsLine, err := scrapeOps(ts.URL)
+	stats, _, metricsText, err := scrapeOps(ts.URL)
 	if err != nil {
 		return err
 	}
@@ -150,9 +151,16 @@ func runE14(quick bool) error {
 	if wal := stats.Server["wal_records"].(float64); wal <= 0 {
 		return fmt.Errorf("/v1/stats wal_records = %v", wal)
 	}
-	for _, frag := range []string{"wal_records=", "snapshot_version=", "result_cache_hits=", "result_cache_invalidations="} {
-		if !strings.Contains(metricsLine, frag) {
-			return fmt.Errorf("/metrics lacks %q: %s", frag, metricsLine)
+	if err := metrics.LintPrometheus(metricsText); err != nil {
+		return fmt.Errorf("/metrics exposition does not lint: %w", err)
+	}
+	exp, err := metrics.ParsePrometheus(metricsText)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"wal_records", "snapshot_version", "result_cache_hits", "result_cache_invalidations"} {
+		if _, ok := exp.Value(name); !ok {
+			return fmt.Errorf("/metrics lacks %s", name)
 		}
 	}
 	var info server.DBInfoResponse

@@ -7,7 +7,8 @@
 //	cqad [-addr :8080] [-dbdir dir] [-data dir] [-cache-size 256]
 //	     [-workers 0] [-max-inflight 64] [-timeout 10s] [-max-body 1048576]
 //	     [-checkpoint-every 1024] [-fsync] [-parallel-eval] [-pprof]
-//	     [-addr-file path]
+//	     [-pprof-addr :6060] [-trace-sample 1] [-trace-buffer 256]
+//	     [-slow-query 0] [-addr-file path]
 //
 // The database directory is scanned non-recursively for *.db files in
 // the cqa fact syntax (one fact per line); each becomes a preloaded
@@ -35,10 +36,18 @@
 // primary). -follow turns it into a read-only WAL-shipping follower of
 // a primary cqad.
 //
+// Every request carries a trace ID (minted at this daemon or joined
+// from the X-CQA-Trace request header); finished traces are retained in
+// a ring served at GET /debug/traces, -slow-query logs traces over the
+// threshold, and -trace-sample tunes what fraction of fresh root
+// requests record (joined traces always do). /metrics serves Prometheus
+// text exposition. See docs/OBSERVABILITY.md.
+//
 // Endpoints: POST /v1/classify, /v1/certain, /v1/batch,
 // /v1/db/{create,insert,delete}; GET /v1/db/info, /v1/db/facts,
 // /v1/shards, /v1/wal/stream, /v1/stats, /healthz, /readyz, /metrics,
-// /debug/vars (+ /debug/pprof with -pprof). See docs/SERVING.md.
+// /debug/vars, /debug/traces (+ /debug/pprof with -pprof, or on a
+// separate listener with -pprof-addr). See docs/SERVING.md.
 //
 // On SIGINT/SIGTERM the daemon flips /readyz to 503, drains in-flight
 // requests (bounded by -drain-timeout), then closes the engine.
@@ -52,6 +61,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +71,8 @@ import (
 
 	"cqa/internal/db"
 	"cqa/internal/engine"
+	"cqa/internal/metrics"
+	"cqa/internal/obs"
 	"cqa/internal/parse"
 	"cqa/internal/server"
 	"cqa/internal/shard"
@@ -97,6 +109,10 @@ type config struct {
 	maxBody      int64
 	parallelEval bool
 	pprof        bool
+	pprofAddr    string
+	traceSample  float64
+	traceBuffer  int
+	slowQuery    time.Duration
 	shards       int
 	route        string
 	replicas     string
@@ -122,6 +138,10 @@ func parseFlags(args []string, errw *os.File) (config, error) {
 	fs.Int64Var(&c.maxBody, "max-body", 0, "max request body bytes before 413 (0 = 1 MiB)")
 	fs.BoolVar(&c.parallelEval, "parallel-eval", false, "enable the parallel evaluation hot path")
 	fs.BoolVar(&c.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&c.pprofAddr, "pprof-addr", "", "serve net/http/pprof on a separate listener at this address (keeps profiling off the API port)")
+	fs.Float64Var(&c.traceSample, "trace-sample", 1, "probability a fresh root request records a trace (1 = all, 0 = disabled; joined traces always record)")
+	fs.IntVar(&c.traceBuffer, "trace-buffer", 0, "finished traces retained for GET /debug/traces (0 = 256)")
+	fs.DurationVar(&c.slowQuery, "slow-query", 0, "log any trace slower than this duration (0 = off)")
 	fs.IntVar(&c.shards, "shards", 1, "shard count for databases this daemon creates (block-hash partitioning)")
 	fs.StringVar(&c.route, "route", "", "comma-separated shard server URLs: serve as the scatter-gather router over them")
 	fs.StringVar(&c.replicas, "route-replicas", "", "comma-separated follower URLs, one per -route shard (empty slots allowed); reads prefer them")
@@ -154,12 +174,30 @@ func run(cfg config) error {
 		log.Printf("cqad: preloaded %d database(s) from %s: %s", len(dbs), cfg.dbDir, strings.Join(names, ", "))
 	}
 
+	// The registry and tracer exist before the stores so WAL fsyncs and
+	// recovery-era writes land in the same instruments the server
+	// exposes at /metrics and /debug/traces.
+	reg := metrics.NewRegistry()
+	sample := cfg.traceSample
+	if sample <= 0 {
+		sample = -1 // NewTracer treats the zero value as "record everything"
+	}
+	tracer := obs.NewTracer(obs.TracerOptions{
+		Sample:    sample,
+		Buffer:    cfg.traceBuffer,
+		SlowQuery: cfg.slowQuery,
+		Logf:      log.Printf,
+	})
+
 	var stores *shard.Set
 	if cfg.dataDir != "" {
 		stores, err = shard.OpenSet(store.Options{
 			Dir:             cfg.dataDir,
 			CheckpointEvery: cfg.checkpoint,
 			Sync:            cfg.fsync,
+			OnFsync: func(d time.Duration) {
+				reg.Histogram("wal_fsync_latency").Observe(d)
+			},
 		}, cfg.shards)
 		if err != nil {
 			return err
@@ -198,6 +236,8 @@ func run(cfg config) error {
 		RequestTimeout: cfg.timeout,
 		MaxBodyBytes:   cfg.maxBody,
 		EnablePprof:    cfg.pprof,
+		Metrics:        reg,
+		Tracer:         tracer,
 	}
 
 	var srv *server.Server
@@ -237,6 +277,26 @@ func run(cfg config) error {
 		baseOpts.Shards = cfg.shards
 		srv = server.New(baseOpts)
 		handler = srv.Handler()
+	}
+
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("cqad: pprof on %s", pln.Addr())
+		go func() {
+			// Best-effort: profiling dies with the process, no drain needed.
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Printf("cqad: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -14,6 +14,7 @@
 //	cqaload -url ... -sharded [-read-url ...] [-keys 64] [-writes 100]
 //	        [-readers 4] [-reads 100] [-join-every 4] [-db sharded]
 //	        [-seed 1] [-validate]
+//	cqaload -url ... -obs [-requests 8] [-seed 1]
 //
 // The default workload is generated locally and shipped inline in each
 // request (the /v1/certain and /v1/batch facts field), so cqaload needs
@@ -31,6 +32,13 @@
 // replica serving), and the read phase issues only ground-key queries so
 // a router touches exactly the shards owning each key. The read-phase
 // throughput is the number reported by cmd/shardbench.
+//
+// With -obs, cqaload is a trace/metric coherence checker instead of a
+// load generator: it issues -requests traced explain queries and
+// asserts that the X-CQA-Trace response header, the explain block, and
+// GET /debug/traces name the same trace with sanely nested spans, and
+// that the /metrics Prometheus exposition lints clean and its counters
+// moved by at least the traffic sent (see docs/OBSERVABILITY.md).
 //
 // Exit status: 0 on a clean run, 1 when any request failed or validation
 // found a disagreement.
@@ -68,10 +76,17 @@ func main() {
 	keys := flag.Int("keys", 64, "block key space (with -sharded)")
 	reads := flag.Int("reads", 100, "reads per reader (with -sharded)")
 	joinEvery := flag.Int("join-every", 4, "every n-th -sharded read is the confined two-atom join (0 = never)")
+	obsMode := flag.Bool("obs", false, "assert trace/metric coherence (traced explain queries + /debug/traces + /metrics lint) instead of generating load")
 	flag.Parse()
 
-	if *sharded && *mutate {
-		fmt.Fprintln(os.Stderr, "cqaload: -sharded and -mutate are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*sharded, *mutate, *obsMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "cqaload: -sharded, -mutate, and -obs are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -90,6 +105,19 @@ func main() {
 			name = "mutable"
 		}
 		runMutable(ctx, *url, name, *writes, *readers, *seed, *validate)
+		return
+	}
+	if *obsMode {
+		w := loadgen.NewWorkload(*seed, loadgen.WorkloadOptions{Queries: *queries, DBsPerQuery: *dbs})
+		fmt.Printf("obs coherence: %d traced request(s) (seed %d); driving %s\n", *requests, *seed, *url)
+		rep, err := loadgen.RunObs(ctx, *url, w, loadgen.ObsOptions{Requests: *requests, Seed: *seed})
+		if rep != nil {
+			fmt.Println(rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqaload: COHERENCE FAILED:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *sharded {

@@ -63,6 +63,25 @@ func (p *Prepared) Classification() *Classification { return p.cls }
 // InFO reports whether CERTAINTY(q) is in FO (a rewriting is available).
 func (p *Prepared) InFO() bool { return p.cls.Verdict == VerdictFO }
 
+// HasCompiled reports whether the rewriting compiled to a program — the
+// fast path Certain actually takes for FO queries. False either because
+// the query is not in FO or because compilation fell back (unreachable
+// in practice, but explain output must report the executed path).
+func (p *Prepared) HasCompiled() bool { return p.prog != nil }
+
+// Program returns the compiled rewriting, or nil when HasCompiled is
+// false. Read-only; used by explain output for plan summaries.
+func (p *Prepared) Program() *fo.Program { return p.prog }
+
+// RewritingSize returns the node count of the consistent first-order
+// rewriting, or 0 when the query is not in FO.
+func (p *Prepared) RewritingSize() int {
+	if !p.InFO() {
+		return 0
+	}
+	return fo.NodeCount(p.cls.Rewriting)
+}
+
 // bound returns the compiled rewriting linked against d's interned view,
 // consulting the per-plan cache first. Returns nil when no compiled
 // program is available.

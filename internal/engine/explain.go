@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/schema"
+	"cqa/internal/shard"
+)
+
+// This file is the introspection surface behind explain output and the
+// strategy/cache metric labels: it names, without evaluating anything,
+// the evaluation strategy certainWith will take and the shard plan
+// certainSharded will take. The names feed the `eval_total{strategy=…}`
+// metric and the `"explain": true` response, and are the observable
+// hooks the ROADMAP's meta-engine strategy selector will build on.
+
+// Evaluation strategy names, as reported by Strategy and carried in the
+// strategy metric label.
+const (
+	// StrategyCompiled evaluates the compiled FO rewriting (docs/EVAL.md).
+	StrategyCompiled = "compiled"
+	// StrategyCompiledParallel is the compiled rewriting with top-level
+	// quantifier fan-out (Options.ParallelEval).
+	StrategyCompiledParallel = "compiled-parallel"
+	// StrategyTreeWalk interprets the rewriting with fo.Eval — selected
+	// by Options.ForceTreeWalk or when no compiled program is available.
+	StrategyTreeWalk = "tree-walk"
+	// StrategyNaive enumerates repairs; the fallback for queries whose
+	// CERTAINTY is not in FO.
+	StrategyNaive = "naive-repair"
+)
+
+// Strategy reports the evaluation strategy certainWith takes for p under
+// this engine's options. The mapping mirrors certainWith exactly: not
+// in FO → naive repair enumeration (even under ParallelEval, which then
+// parallelizes the repair search); ForceTreeWalk or a missing compiled
+// program → tree walker; otherwise the compiled pipeline, parallel when
+// ParallelEval is set.
+func (e *Engine) Strategy(p *core.Prepared) string {
+	return e.strategy(p, e.opt.ParallelEval)
+}
+
+// BatchStrategy is Strategy for CertainBatch items, which always
+// evaluate sequentially per item (the batch is the parallelism).
+func (e *Engine) BatchStrategy(p *core.Prepared) string {
+	return e.strategy(p, false)
+}
+
+func (e *Engine) strategy(p *core.Prepared, parallel bool) string {
+	if !p.InFO() {
+		return StrategyNaive
+	}
+	if e.opt.ForceTreeWalk || !p.HasCompiled() {
+		return StrategyTreeWalk
+	}
+	if parallel {
+		return StrategyCompiledParallel
+	}
+	return StrategyCompiled
+}
+
+// Options returns a copy of the engine's configuration (for explain
+// verification and operator tooling).
+func (e *Engine) Options() Options { return e.opt }
+
+// CertainWith evaluates a prepared plan on d honouring the engine's
+// options — the same dispatch Certain takes after preparation. Servers
+// that already hold p (from PrepareCached, for explain output) use this
+// so the strategy explain reports is the strategy actually executed.
+func (e *Engine) CertainWith(p *core.Prepared, d *db.Database) (bool, error) {
+	if err := e.begin(); err != nil {
+		return false, err
+	}
+	defer e.end()
+	return e.certainWith(p, d), nil
+}
+
+// PrepareCached is Prepare plus the plan-cache outcome: hit reports
+// whether the plan came from the cache. Explain and the cache-outcome
+// metric label need the distinction; Prepare alone hides it.
+func (e *Engine) PrepareCached(q schema.Query) (p *core.Prepared, hit bool, err error) {
+	if err := e.begin(); err != nil {
+		return nil, false, err
+	}
+	defer e.end()
+	sig := q.Signature()
+	if p, ok := e.cache.get(sig); ok {
+		return p, true, nil
+	}
+	p, err = core.Prepare(q)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(sig, p)
+	return p, false, nil
+}
+
+// Shard plan names, as reported by ShardPlanFor.
+const (
+	// ShardPlanSingle: one shard holds everything; evaluate there.
+	ShardPlanSingle = "single"
+	// ShardPlanScatter: single positive atom; per-shard verdicts
+	// OR-combine over the touched shards.
+	ShardPlanScatter = "scatter"
+	// ShardPlanPinned: multi-atom query whose ground keys confine it to
+	// one shard's blocks.
+	ShardPlanPinned = "pinned"
+	// ShardPlanUnion: joins across shards; evaluate on the merged union.
+	ShardPlanUnion = "union"
+)
+
+// ShardPlanFor reports, without evaluating, the plan certainSharded
+// takes for q on view and the shards it consults (every shard for the
+// union plan). The logic must mirror certainSharded exactly; the
+// sharded differential tests cross-check the two.
+func ShardPlanFor(q schema.Query, view ShardView) (plan string, shards []int) {
+	n := view.NumShards()
+	if n == 1 {
+		return ShardPlanSingle, []int{0}
+	}
+	if len(q.Lits) == 1 && !q.Lits[0].Neg {
+		touched, _ := shard.TouchedOwned(q, n, view.Owner)
+		return ShardPlanScatter, touched
+	}
+	if touched, all := shard.TouchedOwned(q, n, view.Owner); !all && len(touched) == 1 {
+		return ShardPlanPinned, touched
+	}
+	shards = make([]int, n)
+	for i := range shards {
+		shards[i] = i
+	}
+	return ShardPlanUnion, shards
+}

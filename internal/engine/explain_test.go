@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cqa/internal/fo"
+	"cqa/internal/parse"
+	"cqa/internal/shard"
+	"cqa/internal/store"
+)
+
+func TestStrategyMirrorsCertainWith(t *testing.T) {
+	foQuery := mustQuery(t, "P(x | y), !N('c' | y)")
+	cyclic := mustQuery(t, "R(x | y), S(y | x)") // not-FO (Sec 5.1)
+
+	cases := []struct {
+		name  string
+		opt   Options
+		query string
+		want  string
+	}{
+		{"compiled default", Options{}, "fo", StrategyCompiled},
+		{"parallel", Options{ParallelEval: true}, "fo", StrategyCompiledParallel},
+		{"tree-walk switch", Options{ForceTreeWalk: true}, "fo", StrategyTreeWalk},
+		{"tree-walk beats parallel", Options{ForceTreeWalk: true, ParallelEval: true}, "fo", StrategyTreeWalk},
+		{"naive", Options{}, "cyclic", StrategyNaive},
+		{"naive under parallel", Options{ParallelEval: true}, "cyclic", StrategyNaive},
+	}
+	for _, c := range cases {
+		e := New(c.opt)
+		q := foQuery
+		if c.query == "cyclic" {
+			q = cyclic
+		}
+		p, err := e.Prepare(q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := e.Strategy(p); got != c.want {
+			t.Errorf("%s: Strategy = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// Batch items never take the parallel hot path.
+	e := New(Options{ParallelEval: true})
+	p, err := e.Prepare(foQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.BatchStrategy(p); got != StrategyCompiled {
+		t.Errorf("BatchStrategy = %q, want %q", got, StrategyCompiled)
+	}
+}
+
+func TestPrepareCachedReportsOutcome(t *testing.T) {
+	e := New(Options{})
+	q := mustQuery(t, "R(x | y), !S(x | y)")
+	p1, hit, err := e.PrepareCached(q)
+	if err != nil || hit {
+		t.Fatalf("first PrepareCached: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := e.PrepareCached(q)
+	if err != nil || !hit {
+		t.Fatalf("second PrepareCached: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned a different plan")
+	}
+}
+
+func TestExplainSurfaces(t *testing.T) {
+	e := New(Options{})
+	p, err := e.Prepare(mustQuery(t, "P(x | y), !N('c' | y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasCompiled() {
+		t.Fatal("FO query should compile")
+	}
+	if n := p.RewritingSize(); n <= 0 {
+		t.Fatalf("RewritingSize = %d", n)
+	}
+	sum := p.Program().PlanSummary()
+	if len(sum) == 0 {
+		t.Fatal("empty plan summary")
+	}
+	for _, line := range sum {
+		if !strings.Contains(line, "∈") {
+			t.Fatalf("malformed plan line %q", line)
+		}
+	}
+	if got := fo.NodeCount(fo.Truth(true)); got != 1 {
+		t.Fatalf("NodeCount(Truth) = %d", got)
+	}
+
+	np, err := e.Prepare(mustQuery(t, "R(x | y), S(y | x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.HasCompiled() || np.RewritingSize() != 0 {
+		t.Fatal("not-FO query must report no compiled program and size 0")
+	}
+}
+
+func TestShardPlanForMirrorsCertainSharded(t *testing.T) {
+	sh, err := shard.NewSharded("d", 4, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.ApplyDB(parse.MustDatabase("R(a | 1)\nR(b | 2)\nS(a | a)")); err != nil {
+		t.Fatal(err)
+	}
+	view := sh.View()
+
+	plan, shards := ShardPlanFor(mustQuery(t, "R(x | y)"), view)
+	if plan != ShardPlanScatter || len(shards) != 4 {
+		t.Errorf("open single atom: plan=%s shards=%v", plan, shards)
+	}
+	plan, shards = ShardPlanFor(mustQuery(t, "R('a' | y)"), view)
+	if plan != ShardPlanScatter || len(shards) != 1 {
+		t.Errorf("ground single atom: plan=%s shards=%v", plan, shards)
+	}
+	plan, shards = ShardPlanFor(mustQuery(t, "R('a' | y), !S('a' | y)"), view)
+	if plan != ShardPlanPinned || len(shards) != 1 {
+		t.Errorf("pinned multi-atom: plan=%s shards=%v", plan, shards)
+	}
+	plan, shards = ShardPlanFor(mustQuery(t, "R(x | y), !S(y | y)"), view)
+	if plan != ShardPlanUnion || !reflect.DeepEqual(shards, []int{0, 1, 2, 3}) {
+		t.Errorf("join: plan=%s shards=%v", plan, shards)
+	}
+}
+
+func TestShardPlanSingleShard(t *testing.T) {
+	sh, err := shard.NewSharded("d", 1, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.ApplyDB(parse.MustDatabase("R(a | 1)")); err != nil {
+		t.Fatal(err)
+	}
+	plan, shards := ShardPlanFor(mustQuery(t, "R(x | y), !S(y | x)"), sh.View())
+	if plan != ShardPlanSingle || !reflect.DeepEqual(shards, []int{0}) {
+		t.Errorf("single: plan=%s shards=%v", plan, shards)
+	}
+}

@@ -1,0 +1,80 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file provides the introspection surface behind the server's
+// `"explain": true` option: the size of a rewriting and a human-readable
+// summary of the compile-time quantifier-restriction plans. Nothing here
+// runs on the evaluation hot path.
+
+// NodeCount returns the number of formula nodes in f — the "rewriting
+// size" reported by explain output. Counting is structural: every
+// connective, atom, equality, and quantifier block counts as one node.
+func NodeCount(f Formula) int {
+	switch g := f.(type) {
+	case Truth, Atom, Eq:
+		return 1
+	case Not:
+		return 1 + NodeCount(g.F)
+	case And:
+		n := 1
+		for _, sub := range g.Fs {
+			n += NodeCount(sub)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, sub := range g.Fs {
+			n += NodeCount(sub)
+		}
+		return n
+	case Implies:
+		return 1 + NodeCount(g.L) + NodeCount(g.R)
+	case Exists:
+		return 1 + NodeCount(g.Body)
+	case Forall:
+		return 1 + NodeCount(g.Body)
+	default:
+		return 1
+	}
+}
+
+// PlanSummary describes every quantifier's candidate-restriction plan,
+// one line per binder in compile order: "s0 ∈ R.1", "s1 ∈ min(R.0,
+// S.1)", "s2 ∈ domain". Binders and candidate plans are allocated in
+// lockstep by compileExists, so entry i is slot i's plan.
+func (p *Program) PlanSummary() []string {
+	out := make([]string, len(p.cands))
+	for i, plan := range p.cands {
+		out[i] = fmt.Sprintf("s%d ∈ %s", i, p.describe(plan))
+	}
+	return out
+}
+
+func (p *Program) describe(plan candPlan) string {
+	switch c := plan.(type) {
+	case candDomain:
+		return "domain"
+	case candCol:
+		return fmt.Sprintf("%s.%d", p.rels[c.rel], c.col)
+	case candConst:
+		return fmt.Sprintf("%q", p.consts[c.c])
+	case candPick:
+		return "min(" + p.describeAll(c.of) + ")"
+	case candUnion:
+		return "union(" + p.describeAll(c.of) + ")"
+	default:
+		return fmt.Sprintf("%T", plan)
+	}
+}
+
+func (p *Program) describeAll(plans []candPlan) string {
+	parts := make([]string, len(plans))
+	for i, sub := range plans {
+		parts[i] = p.describe(sub)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,277 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"cqa/internal/metrics"
+	"cqa/internal/obs"
+	"cqa/internal/server"
+)
+
+// This file is the trace/metric coherence assertion mode behind
+// `cqaload -obs`: it drives traced explain queries against a live cqad
+// and checks that the three observability surfaces agree with each
+// other and with what the client actually did — the response header,
+// the explain block, and /debug/traces name the same trace ID; the
+// trace's spans nest inside its duration and inside the latency the
+// client measured; and the /metrics counters move by at least the
+// traffic this run generated, on a lint-clean Prometheus exposition.
+
+// ObsOptions configures RunObs.
+type ObsOptions struct {
+	// Requests is the number of traced explain queries; ≤ 0 selects 8.
+	Requests int
+	// Seed drives query/database selection order.
+	Seed int64
+}
+
+// ObsReport summarizes a coherence run.
+type ObsReport struct {
+	Requests int      // traced queries issued
+	Spans    int      // spans observed across the fetched traces
+	Checks   []string // assertions that held, in order
+}
+
+func (r *ObsReport) String() string {
+	return fmt.Sprintf("obs coherence: %d traced request(s), %d span(s), %d check(s) passed:\n  %s",
+		r.Requests, r.Spans, len(r.Checks), strings.Join(r.Checks, "\n  "))
+}
+
+// RunObs issues traced /v1/certain explain requests from the workload
+// and asserts trace/metric coherence. The server may be serving other
+// traffic concurrently, so counter assertions are "moved by at least
+// what we sent", not exact equality.
+func RunObs(ctx context.Context, baseURL string, w *Workload, opt ObsOptions) (*ObsReport, error) {
+	n := opt.Requests
+	if n <= 0 {
+		n = 8
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("empty workload")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := &ObsReport{Requests: n}
+
+	before, err := scrapeMetrics(ctx, client, baseURL)
+	if err != nil {
+		return rep, fmt.Errorf("before scrape: %w", err)
+	}
+	rep.pass("/metrics parses and lints clean before the run")
+
+	for i := 0; i < n; i++ {
+		wq := w.Queries[(int(opt.Seed)+i)%len(w.Queries)]
+		facts := wq.Facts[i%len(wq.Facts)]
+		if err := oneObsRequest(ctx, client, baseURL, rep, i, wq.Source, facts); err != nil {
+			return rep, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	rep.pass(fmt.Sprintf("%d explain responses named the trace the X-CQA-Trace response header named", n))
+	rep.pass("every trace at /debug/traces covers parse and eval, spans inside the trace, trace inside the client latency")
+
+	after, err := scrapeMetrics(ctx, client, baseURL)
+	if err != nil {
+		return rep, fmt.Errorf("after scrape: %w", err)
+	}
+	rep.pass("/metrics parses and lints clean after the run")
+
+	for _, c := range []struct {
+		name string
+		kv   []string
+	}{
+		{"requests_total", nil},
+		{"certain_total", nil},
+		{"request_latency_seconds_count", nil},
+		{"requests_by_endpoint_total", []string{"endpoint", "certain"}},
+	} {
+		b, _ := before.Value(c.name, c.kv...)
+		a, ok := after.Value(c.name, c.kv...)
+		if !ok {
+			return rep, fmt.Errorf("metric %s%v missing after the run", c.name, c.kv)
+		}
+		if a-b < float64(n) {
+			return rep, fmt.Errorf("metric %s%v moved by %g, want ≥ %d", c.name, c.kv, a-b, n)
+		}
+	}
+	rep.pass(fmt.Sprintf("request/certain/latency counters all moved by ≥ %d", n))
+
+	if d := sumFamily(after, "eval_total") - sumFamily(before, "eval_total"); d < float64(n) {
+		return rep, fmt.Errorf("eval_total (summed over strategy/cache labels) moved by %g, want ≥ %d", d, n)
+	}
+	rep.pass(fmt.Sprintf("eval_total summed across strategy/cache labels moved by ≥ %d", n))
+
+	bs, _ := before.Value("traces_sampled")
+	as, ok := after.Value("traces_sampled")
+	if !ok {
+		return rep, fmt.Errorf("traces_sampled missing after the run")
+	}
+	if as-bs < float64(n) {
+		return rep, fmt.Errorf("traces_sampled moved by %g, want ≥ %d (is -trace-sample below 1?)", as-bs, n)
+	}
+	rep.pass(fmt.Sprintf("tracer recorded ≥ %d new traces", n))
+	return rep, nil
+}
+
+func (r *ObsReport) pass(check string) { r.Checks = append(r.Checks, check) }
+
+// oneObsRequest issues one traced explain query and cross-checks the
+// header, the explain block, and the served trace against each other.
+func oneObsRequest(ctx context.Context, client *http.Client, baseURL string, rep *ObsReport, i int, query, facts string) error {
+	req := server.CertainRequest{Query: query, Facts: facts, Explain: true}
+	start := time.Now()
+	resp, hdr, err := postDecodeHeader(ctx, client, baseURL+"/v1/certain", req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	id := hdr.Get(obs.TraceHeader)
+	if id == "" {
+		return fmt.Errorf("no %s response header", obs.TraceHeader)
+	}
+	if resp.Explain == nil {
+		return fmt.Errorf("explain requested but absent")
+	}
+	if resp.Explain.TraceID != id {
+		return fmt.Errorf("explain names trace %q, header names %q", resp.Explain.TraceID, id)
+	}
+	if resp.Explain.Strategy == "" {
+		return fmt.Errorf("explain has no strategy")
+	}
+	var stageSum int64
+	for _, st := range resp.Explain.Stages {
+		stageSum += st.Nanos
+	}
+	if stageSum > elapsed.Nanoseconds() {
+		return fmt.Errorf("explain stages sum to %dns, more than the %s the request took", stageSum, elapsed)
+	}
+
+	tr, err := fetchTrace(ctx, client, baseURL, id)
+	if err != nil {
+		return err
+	}
+	if tr.DurNanos > elapsed.Nanoseconds() {
+		return fmt.Errorf("trace %s lasted %dns, more than the %s the client measured", id, tr.DurNanos, elapsed)
+	}
+	want := map[string]bool{"parse": false, "eval": false}
+	for _, sp := range tr.Spans {
+		rep.Spans++
+		if sp.DurNanos < 0 || sp.OffsetNanos < 0 || sp.OffsetNanos+sp.DurNanos > tr.DurNanos {
+			return fmt.Errorf("trace %s: span %s [%d, +%d] outside trace duration %d",
+				id, sp.Name, sp.OffsetNanos, sp.DurNanos, tr.DurNanos)
+		}
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("trace %s has no %s span (spans: %s)", id, name, spanNameList(tr.Spans))
+		}
+	}
+	return nil
+}
+
+// postDecodeHeader is postDecode plus access to the response headers.
+func postDecodeHeader(ctx context.Context, client *http.Client, url string, body server.CertainRequest) (*server.CertainResponse, http.Header, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.Header, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.Header, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var out server.CertainResponse
+	return &out, resp.Header, json.Unmarshal(raw, &out)
+}
+
+// fetchTrace pulls one trace by ID from GET /debug/traces.
+func fetchTrace(ctx context.Context, client *http.Client, baseURL, id string) (*obs.TraceView, error) {
+	u := baseURL + "/debug/traces?id=" + url.QueryEscape(id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/traces: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Traces []obs.TraceView `json:"traces"`
+	}
+	if err := decodeJSON(resp.Body, &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Traces) == 0 {
+		return nil, fmt.Errorf("trace %s not found in /debug/traces (evicted by a too-small -trace-buffer?)", id)
+	}
+	return &doc.Traces[0], nil
+}
+
+// scrapeMetrics GETs /metrics, lints the exposition, and parses it.
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (*metrics.PromExposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return nil, fmt.Errorf("/metrics: Content-Type %q is not the text exposition format", ct)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := metrics.LintPrometheus(string(text)); err != nil {
+		return nil, fmt.Errorf("exposition lint: %w", err)
+	}
+	return metrics.ParsePrometheus(string(text))
+}
+
+// sumFamily totals every sample of one family, across all label sets.
+func sumFamily(exp *metrics.PromExposition, name string) float64 {
+	var sum float64
+	for _, s := range exp.Find(name) {
+		sum += s.Value
+	}
+	return sum
+}
+
+func spanNameList(spans []obs.SpanView) string {
+	names := make([]string, len(spans))
+	for i, sp := range spans {
+		names[i] = sp.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,41 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cqa/internal/server"
+)
+
+func TestRunObsAgainstInProcessServer(t *testing.T) {
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	w := NewWorkload(7, WorkloadOptions{Queries: 3, DBsPerQuery: 2})
+	rep, err := RunObs(context.Background(), ts.URL, w, ObsOptions{Requests: 6, Seed: 7})
+	if err != nil {
+		t.Fatalf("coherence run failed: %v\nreport so far: %v", err, rep)
+	}
+	if rep.Requests != 6 {
+		t.Errorf("requests = %d, want 6", rep.Requests)
+	}
+	// parse + prepare + eval per request, at minimum.
+	if rep.Spans < 3*rep.Requests {
+		t.Errorf("spans = %d, want ≥ %d", rep.Spans, 3*rep.Requests)
+	}
+	if len(rep.Checks) == 0 {
+		t.Error("no checks recorded")
+	}
+	if !strings.Contains(rep.String(), "check(s) passed") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestRunObsEmptyWorkload(t *testing.T) {
+	if _, err := RunObs(context.Background(), "http://127.0.0.1:0", &Workload{}, ObsOptions{}); err == nil {
+		t.Error("empty workload should fail")
+	}
+}

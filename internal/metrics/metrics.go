@@ -75,9 +75,8 @@ var DefaultLatencyBuckets = func() []time.Duration {
 type Histogram struct {
 	bounds []time.Duration // sorted upper bounds; an implicit +Inf bucket follows
 	counts []atomic.Uint64 // len(bounds)+1
-	count  atomic.Uint64
-	sum    atomic.Int64 // nanoseconds; durations this large never overflow in practice
-	mu     sync.Mutex   // guards min/max only
+	sum    atomic.Int64    // nanoseconds; durations this large never overflow in practice
+	mu     sync.Mutex      // guards min/max only
 	min    time.Duration
 	max    time.Duration
 }
@@ -100,7 +99,6 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
 	h.counts[i].Add(1)
-	h.count.Add(1)
 	h.sum.Add(int64(d))
 	h.mu.Lock()
 	if d < h.min {
@@ -131,27 +129,47 @@ type BucketCount struct {
 }
 
 // Snapshot returns a consistent-enough view (counters are read
-// individually, so a snapshot under concurrent Observe is approximate).
+// individually, so a snapshot under concurrent Observe is approximate),
+// with two hard guarantees that hold even while observations race in:
+// Count equals the sum of the bucket counts actually snapshotted, and
+// P50 ≤ P95 ≤ P99.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Buckets: make([]BucketCount, len(h.counts))}
+	var total uint64
 	for i := range h.counts {
 		var ub time.Duration
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		s.Buckets[i] = BucketCount{UpperBound: ub, Count: h.counts[i].Load()}
+		c := h.counts[i].Load()
+		s.Buckets[i] = BucketCount{UpperBound: ub, Count: c}
+		total += c
 	}
-	s.Count = h.count.Load()
+	// Count must come from the snapshotted buckets, not a separate total
+	// counter: under concurrent Observe the two reads disagree, and a
+	// Count above the bucket sum pushes quantile ranks past every bucket.
+	s.Count = total
 	s.Sum = time.Duration(h.sum.Load())
 	if s.Count > 0 {
 		s.Mean = s.Sum / time.Duration(s.Count)
 		h.mu.Lock()
 		s.Min, s.Max = h.min, h.max
 		h.mu.Unlock()
+		if s.Min > s.Max {
+			// An Observe raced between its bucket add and its min/max
+			// update; don't clamp quantiles against a sentinel min.
+			s.Min = 0
+		}
 	}
 	s.P50 = h.quantile(s, 0.50)
 	s.P95 = h.quantile(s, 0.95)
 	s.P99 = h.quantile(s, 0.99)
+	if s.P95 < s.P50 {
+		s.P95 = s.P50
+	}
+	if s.P99 < s.P95 {
+		s.P99 = s.P95
+	}
 	return s
 }
 
@@ -334,6 +352,66 @@ func (r *Registry) String() string {
 		return fmt.Sprintf(`{"error":%q}`, err.Error())
 	}
 	return string(b)
+}
+
+// Label formats a metric name with label pairs in Prometheus series
+// form: Label("shard_rpc_total", "shard", "2", "outcome", "ok") yields
+// `shard_rpc_total{shard="2",outcome="ok"}`. The result is used directly
+// as a registry name — the registry get-or-create path is the series
+// cache — and the Prometheus renderer splits it back apart so all series
+// of one family share a base name and a single TYPE line. kv must be
+// alternating key/value; values are escaped, keys must already be valid
+// label names.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitSeries splits a registry name built by Label back into its base
+// family name and the raw label text (without braces). Plain names
+// return labels == "".
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
 }
 
 // Summary renders a one-line plain-text summary: name=value pairs in name

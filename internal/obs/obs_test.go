@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID")
+	}
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil trace should return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.Fail(errors.New("boom"))
+	sp.End()
+	tr.Finish()
+
+	var tc *Tracer
+	if got := tc.Start("op", ""); got != nil {
+		t.Fatal("nil tracer should start nil trace")
+	}
+	if got := tc.Snapshot(Query{}); got != nil {
+		t.Fatal("nil tracer snapshot should be nil")
+	}
+}
+
+func TestSamplingZeroDropsRoots(t *testing.T) {
+	tc := NewTracer(TracerOptions{Sample: -1})
+	if tc.Sample() != 0 {
+		t.Fatalf("sample = %v, want 0", tc.Sample())
+	}
+	for i := 0; i < 100; i++ {
+		if tr := tc.Start("op", ""); tr != nil {
+			t.Fatal("sampling 0 must drop fresh roots")
+		}
+	}
+	_, dropped, _ := tc.Stats()
+	if dropped != 100 {
+		t.Fatalf("dropped = %d, want 100", dropped)
+	}
+	// Joined traces are recorded regardless of the sampling rate.
+	tr := tc.Start("op", "remote-1")
+	if tr == nil {
+		t.Fatal("joined trace must be recorded at sampling 0")
+	}
+	if tr.ID() != "remote-1" {
+		t.Fatalf("joined trace ID = %q", tr.ID())
+	}
+	tr.Finish()
+	views := tc.Snapshot(Query{ID: "remote-1"})
+	if len(views) != 1 {
+		t.Fatalf("snapshot: got %d traces, want 1", len(views))
+	}
+}
+
+func TestSpansRecorded(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	tr := tc.Start("POST /v1/certain", "")
+	if tr == nil {
+		t.Fatal("full sampling must record")
+	}
+	sp := tr.StartSpan("parse")
+	sp.SetAttr("query", "R(x | y)").SetAttr("atoms", "1")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	sp2 := tr.StartSpan("rpc")
+	sp2.Fail(errors.New("connection refused"))
+	sp2.End()
+	tr.Finish()
+
+	views := tc.Snapshot(Query{ID: tr.ID()})
+	if len(views) != 1 {
+		t.Fatalf("got %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.Name != "POST /v1/certain" {
+		t.Fatalf("name = %q", v.Name)
+	}
+	if len(v.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(v.Spans))
+	}
+	parse := v.Spans[0]
+	if parse.Name != "parse" || parse.DurNanos < int64(time.Millisecond) {
+		t.Fatalf("parse span: %+v", parse)
+	}
+	if len(parse.Attrs) != 2 || parse.Attrs[0].Key != "query" || parse.Attrs[1].Value != "1" {
+		t.Fatalf("parse attrs: %+v", parse.Attrs)
+	}
+	if v.Spans[1].Error != "connection refused" {
+		t.Fatalf("rpc span error = %q", v.Spans[1].Error)
+	}
+	if v.DurNanos < parse.DurNanos {
+		t.Fatalf("trace dur %d < span dur %d", v.DurNanos, parse.DurNanos)
+	}
+}
+
+func TestFinishIdempotentAndLateEnd(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	tr := tc.Start("op", "")
+	sp := tr.StartSpan("late")
+	tr.Finish()
+	tr.Finish() // second Finish must not re-publish
+	sp.End()    // End after Finish is a silent no-op
+
+	sampled, _, _ := tc.Stats()
+	if sampled != 1 {
+		t.Fatalf("sampled = %d, want 1", sampled)
+	}
+	views := tc.Snapshot(Query{ID: tr.ID()})
+	if len(views) != 1 || len(views[0].Spans) != 0 {
+		t.Fatalf("late span must be dropped: %+v", views)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tc := NewTracer(TracerOptions{Buffer: 4})
+	for i := 0; i < 10; i++ {
+		tr := tc.Start("op", fmt.Sprintf("id-%d", i))
+		tr.Finish()
+	}
+	views := tc.Snapshot(Query{Limit: 100})
+	if len(views) != 4 {
+		t.Fatalf("ring of 4: got %d traces", len(views))
+	}
+	for _, v := range views {
+		if v.ID < "id-6" {
+			t.Fatalf("old trace survived overwrite: %s", v.ID)
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	tc := NewTracer(TracerOptions{
+		SlowQuery: time.Microsecond,
+		Logf: func(format string, v ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, v...))
+			mu.Unlock()
+		},
+	})
+	tr := tc.Start("slowop", "")
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+
+	fast := NewTracer(TracerOptions{}) // no threshold: never logs
+	ft := fast.Start("fastop", "")
+	ft.Finish()
+
+	_, _, slow := tc.Stats()
+	if slow != 1 {
+		t.Fatalf("slow = %d, want 1", slow)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 || !strings.Contains(lines[0], "slowop") || !strings.Contains(lines[0], tr.ID()) {
+		t.Fatalf("slow log lines: %q", lines)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	tr := tc.Start("op", "")
+	ctx := With(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatal("context did not carry trace")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatal("empty context must yield nil")
+	}
+	if ctx2 := With(context.Background(), nil); FromContext(ctx2) != nil {
+		t.Fatal("nil trace must not be stored")
+	}
+}
+
+func TestMintUnique(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tr := tc.Start("op", "")
+		if seen[tr.ID()] {
+			t.Fatalf("duplicate trace ID %s", tr.ID())
+		}
+		seen[tr.ID()] = true
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	tc := NewTracer(TracerOptions{})
+	slow := tc.Start("slow", "")
+	time.Sleep(2 * time.Millisecond)
+	slow.Finish()
+	fast := tc.Start("fast", "")
+	fast.Finish()
+
+	got := tc.Snapshot(Query{MinDur: time.Millisecond})
+	if len(got) != 1 || got[0].ID != slow.ID() {
+		t.Fatalf("MinDur filter: %+v", got)
+	}
+	got = tc.Snapshot(Query{Limit: 1})
+	if len(got) != 1 {
+		t.Fatalf("Limit: got %d", len(got))
+	}
+	// Newest first.
+	if got[0].ID != fast.ID() {
+		t.Fatalf("newest first: got %s", got[0].ID)
+	}
+}
+
+// TestConcurrent exercises recording, span appends, and snapshots from
+// 32 goroutines at once; run under -race.
+func TestConcurrent(t *testing.T) {
+	tc := NewTracer(TracerOptions{Buffer: 16, SlowQuery: time.Nanosecond, Logf: func(string, ...any) {}})
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := tc.Start("op", "")
+				var inner sync.WaitGroup
+				for s := 0; s < 3; s++ {
+					inner.Add(1)
+					go func(s int) {
+						defer inner.Done()
+						sp := tr.StartSpan(fmt.Sprintf("s%d", s))
+						sp.SetAttr("g", fmt.Sprint(g))
+						sp.End()
+					}(s)
+				}
+				inner.Wait()
+				tr.Finish()
+				if i%10 == 0 {
+					tc.Snapshot(Query{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sampled, _, _ := tc.Stats()
+	if sampled != 32*50 {
+		t.Fatalf("sampled = %d, want %d", sampled, 32*50)
+	}
+}

@@ -38,17 +38,60 @@ type CertainRequest struct {
 	Query    string `json:"query"`
 	Facts    string `json:"facts,omitempty"`
 	Database string `json:"database,omitempty"`
+	// Explain asks for an ExplainInfo in the response: the evaluation
+	// strategy actually executed, cache outcomes, the rewriting size and
+	// quantifier-restriction plan, and per-stage timings.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // CertainResponse is the answer for one database. For a named database
 // the response also carries the store version the answer is valid at and
 // whether it came from the versioned result cache.
 type CertainResponse struct {
-	Certain  bool   `json:"certain"`
-	Verdict  string `json:"verdict"`
-	Database string `json:"database,omitempty"`
-	Version  uint64 `json:"version,omitempty"`
-	Cached   *bool  `json:"cached,omitempty"`
+	Certain  bool         `json:"certain"`
+	Verdict  string       `json:"verdict"`
+	Database string       `json:"database,omitempty"`
+	Version  uint64       `json:"version,omitempty"`
+	Cached   *bool        `json:"cached,omitempty"`
+	Explain  *ExplainInfo `json:"explain,omitempty"`
+}
+
+// ExplainInfo is the `"explain": true` payload: what the engine chose
+// and what it cost, stage by stage. Strategy names come from
+// engine.Strategy ("compiled", "compiled-parallel", "tree-walk",
+// "naive-repair"); shard plans from engine.ShardPlanFor ("single",
+// "scatter", "pinned", "union"). See docs/OBSERVABILITY.md for the
+// schema contract.
+type ExplainInfo struct {
+	// Strategy is the evaluation strategy actually executed.
+	Strategy string `json:"strategy"`
+	// PlanCache is "hit" or "miss" — whether the prepared plan came from
+	// the engine's plan cache.
+	PlanCache string `json:"planCache"`
+	// ResultCache is "hit", "miss", or "" when the request bypassed the
+	// versioned result cache (inline facts).
+	ResultCache string `json:"resultCache,omitempty"`
+	// RewritingSize is the node count of the consistent FO rewriting
+	// (0 when CERTAINTY(q) is not in FO).
+	RewritingSize int `json:"rewritingSize"`
+	// Quantifiers summarizes the compiled quantifier-restriction plan,
+	// one line per binder slot ("s0 ∈ R.1", "s1 ∈ min(R.0, S.1)", …).
+	Quantifiers []string `json:"quantifiers,omitempty"`
+	// ShardPlan and Shards report how a named-database evaluation was
+	// spread over the store's shards (absent for inline facts).
+	ShardPlan string `json:"shardPlan,omitempty"`
+	Shards    []int  `json:"shards,omitempty"`
+	// Stages holds per-stage wall-clock timings in request order.
+	Stages []ExplainStage `json:"stages"`
+	// TraceID joins this explain with the trace recorded for the request
+	// (empty when tracing is disabled).
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// ExplainStage is one timed stage of a request (parse, prepare, eval, …).
+type ExplainStage struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
 }
 
 // RelSig is one relation signature: name, arity, and the length of the
@@ -180,6 +223,8 @@ type BatchRequest struct {
 	Query     string   `json:"query"`
 	Databases []string `json:"databases,omitempty"`
 	Facts     []string `json:"facts,omitempty"`
+	// Explain asks for an ExplainInfo covering the batch as a whole.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // BatchResult is the outcome for one database of a batch.
@@ -192,6 +237,7 @@ type BatchResult struct {
 type BatchResponse struct {
 	Verdict string        `json:"verdict"`
 	Results []BatchResult `json:"results"`
+	Explain *ExplainInfo  `json:"explain,omitempty"`
 }
 
 // ErrorBody is the structured error envelope every non-2xx response
@@ -200,18 +246,37 @@ type ErrorBody struct {
 	Error ErrorDetail `json:"error"`
 }
 
-// ErrorDetail describes one request failure.
+// ErrorDetail describes one request failure. TraceID, when present,
+// joins the error with the trace recorded for the request (the same ID
+// the X-CQA-Trace response header carries) — set on admission rejections
+// and panic-isolation responses so structured errors are joinable with
+// /debug/traces.
 type ErrorDetail struct {
 	Status  int    `json:"status"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
-// StatsResponse is the GET /v1/stats payload.
+// StatsResponse is the GET /v1/stats payload. Scope names the tier that
+// produced it: "primary", "follower", or "router". A router's response
+// additionally aggregates every downstream shard server under Shards.
 type StatsResponse struct {
-	UptimeSeconds float64        `json:"uptimeSeconds"`
-	Engine        EngineStats    `json:"engine"`
-	Server        map[string]any `json:"server"`
+	Scope         string            `json:"scope"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Engine        EngineStats       `json:"engine"`
+	Server        map[string]any    `json:"server"`
+	Shards        []ShardStatsEntry `json:"shards,omitempty"`
+}
+
+// ShardStatsEntry is a router's view of one downstream shard server's
+// /v1/stats. Stats is nil (and Error set) when the shard — and, when
+// configured, its replica — did not answer.
+type ShardStatsEntry struct {
+	Index int            `json:"index"`
+	URL   string         `json:"url"`
+	Stats *StatsResponse `json:"stats,omitempty"`
+	Error string         `json:"error,omitempty"`
 }
 
 // EngineStats mirrors engine.Stats in JSON form, with derived hit

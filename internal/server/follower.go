@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cqa/internal/metrics"
 	"cqa/internal/shard"
 	"cqa/internal/store"
 )
@@ -106,6 +107,7 @@ func (f *Follower) Run(ctx context.Context) {
 			for _, d := range topo.Databases {
 				f.track(ctx, d)
 			}
+			f.updateLag(topo)
 		} else if ctx.Err() == nil {
 			f.logf("follower: discovery: %v", err)
 		}
@@ -137,6 +139,28 @@ func (f *Follower) topology(ctx context.Context) (*ShardsResponse, error) {
 		return nil, err
 	}
 	return &topo, nil
+}
+
+// updateLag refreshes the follower_lag_versions{db} gauge on every
+// discovery tick: how many global versions each tracked database is
+// behind the primary's advertised topology. A caught-up (or recovered)
+// follower reads 0.
+func (f *Follower) updateLag(topo *ShardsResponse) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range topo.Databases {
+		fdb, ok := f.tracked[d.Name]
+		if !ok {
+			continue
+		}
+		lag := int64(d.Version) - int64(fdb.sh.Version())
+		if lag < 0 {
+			// The primary moved on between serving /v1/shards and our
+			// streams applying newer batches; we are caught up.
+			lag = 0
+		}
+		f.srv.Registry().Gauge(metrics.Label("follower_lag_versions", "db", d.Name)).Set(lag)
+	}
 }
 
 // track starts replicating one database if it is not already tracked.

@@ -8,11 +8,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cqa/internal/core"
+	"cqa/internal/db"
 	"cqa/internal/engine"
+	"cqa/internal/metrics"
+	"cqa/internal/obs"
 	"cqa/internal/parse"
+	"cqa/internal/schema"
 	"cqa/internal/sqlgen"
 )
 
@@ -28,12 +33,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError writes the structured error envelope and counts it.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeErrorDetail(w, ErrorDetail{Status: status, Code: code, Message: msg})
+}
+
+// writeErrorDetail writes a fully built error detail (writeErrorTraced
+// adds the trace ID before calling here).
+func (s *Server) writeErrorDetail(w http.ResponseWriter, d ErrorDetail) {
 	s.reg.Counter("errors_total").Inc()
-	if status >= 500 || status == http.StatusTooManyRequests {
+	if d.Status >= 500 || d.Status == http.StatusTooManyRequests {
 		// Shedding and failures must not be cached by intermediaries.
 		w.Header().Set("Cache-Control", "no-store")
 	}
-	s.writeJSON(w, status, ErrorBody{Error: ErrorDetail{Status: status, Code: code, Message: msg}})
+	s.writeJSON(w, d.Status, ErrorBody{Error: d})
 }
 
 // writeDecodeError maps a request-decoding failure to 413 (body over
@@ -102,8 +113,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, v)
 }
 
-// handleCertain answers POST /v1/certain.
+// handleCertain answers POST /v1/certain. The handler is fully
+// instrumented: parse/prepare/eval spans hang off the request trace,
+// the eval_total{strategy,cache} counter records what ran, and
+// `"explain": true` returns the strategy, cache outcomes, rewriting
+// size, quantifier plan, shard plan, and per-stage timings.
 func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	clock := &stageClock{}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		s.writeDecodeError(w, err)
@@ -114,11 +131,16 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		s.writeDecodeError(w, err)
 		return
 	}
-	q, err := parse.Query(req.Query)
+	var q schema.Query
+	psp := tr.StartSpan("parse")
+	clock.time("parse", func() { q, err = parse.Query(req.Query) })
 	if err != nil {
+		psp.Fail(err)
+		psp.End()
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
 		return
 	}
+	psp.End()
 	if req.Database != "" {
 		// Named databases are sharded versioned stores: answer on one
 		// consistent cross-shard view through the engine's result cache,
@@ -135,21 +157,48 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		}
 		view := sh.View()
 		v, err := s.bounded(r.Context(), func() (any, error) {
-			p, err := s.eng.Prepare(q)
+			var p *core.Prepared
+			var planHit bool
+			var err error
+			sp := tr.StartSpan("prepare")
+			clock.time("prepare", func() { p, planHit, err = s.eng.PrepareCached(q) })
 			if err != nil {
+				sp.Fail(err)
+				sp.End()
 				return nil, err
 			}
-			certain, cached, err := s.eng.CertainShardedVersioned(q, req.Database, view)
+			strategy := s.eng.Strategy(p)
+			sp.SetAttr("planCache", cacheOutcome(planHit)).SetAttr("strategy", strategy)
+			sp.End()
+
+			var certain, cached bool
+			esp := tr.StartSpan("eval")
+			clock.time("eval", func() { certain, cached, err = s.eng.CertainShardedVersioned(q, req.Database, view) })
 			if err != nil {
+				esp.Fail(err)
+				esp.End()
 				return nil, err
 			}
-			return CertainResponse{
+			shardPlan, shards := engine.ShardPlanFor(q, view)
+			esp.SetAttr("resultCache", cacheOutcome(cached)).SetAttr("shardPlan", shardPlan)
+			esp.End()
+			s.reg.Counter(metrics.Label("eval_total",
+				"strategy", strategy, "cache", cacheOutcome(cached))).Inc()
+			resp := CertainResponse{
 				Certain:  certain,
 				Verdict:  string(p.Classification().Verdict),
 				Database: req.Database,
 				Version:  view.Version(),
 				Cached:   &cached,
-			}, nil
+			}
+			if req.Explain {
+				info := explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+				info.ResultCache = cacheOutcome(cached)
+				info.ShardPlan = shardPlan
+				info.Shards = shards
+				resp.Explain = info
+			}
+			return resp, nil
 		})
 		if err != nil {
 			s.writeWorkError(w, err)
@@ -158,24 +207,57 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, v)
 		return
 	}
-	d, err := parse.Database(req.Facts)
+	var d *db.Database
+	fsp := tr.StartSpan("parse-facts")
+	clock.time("parse-facts", func() {
+		d, err = parse.Database(req.Facts)
+		if err == nil {
+			err = parse.DeclareQueryRelations(d, q)
+		}
+	})
 	if err != nil {
+		fsp.Fail(err)
+		fsp.End()
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
 		return
 	}
-	if err := parse.DeclareQueryRelations(d, q); err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "bad_facts", err.Error())
-		return
-	}
+	fsp.End()
 	v, err := s.bounded(r.Context(), func() (any, error) {
-		p, err := s.eng.Prepare(q)
+		var p *core.Prepared
+		var planHit bool
+		var err error
+		sp := tr.StartSpan("prepare")
+		clock.time("prepare", func() { p, planHit, err = s.eng.PrepareCached(q) })
 		if err != nil {
+			sp.Fail(err)
+			sp.End()
 			return nil, err
 		}
-		return CertainResponse{
-			Certain: p.Certain(d),
+		strategy := s.eng.Strategy(p)
+		sp.SetAttr("planCache", cacheOutcome(planHit)).SetAttr("strategy", strategy)
+		sp.End()
+
+		var certain bool
+		esp := tr.StartSpan("eval")
+		clock.time("eval", func() { certain, err = s.eng.CertainWith(p, d) })
+		if err != nil {
+			esp.Fail(err)
+			esp.End()
+			return nil, err
+		}
+		esp.End()
+		// Inline facts bypass the versioned result cache (there is no
+		// version to key on); the cache label says so.
+		s.reg.Counter(metrics.Label("eval_total",
+			"strategy", strategy, "cache", "bypass")).Inc()
+		resp := CertainResponse{
+			Certain: certain,
 			Verdict: string(p.Classification().Verdict),
-		}, nil
+		}
+		if req.Explain {
+			resp.Explain = explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+		}
+		return resp, nil
 	})
 	if err != nil {
 		s.writeWorkError(w, err)
@@ -184,8 +266,29 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, v)
 }
 
+// explainFor assembles the common part of an ExplainInfo; callers fill
+// in the result-cache and shard-plan fields that apply to their path.
+func explainFor(p *core.Prepared, strategy, planCache string, clock *stageClock, tr *obs.Trace) *ExplainInfo {
+	info := &ExplainInfo{
+		Strategy:      strategy,
+		PlanCache:     planCache,
+		RewritingSize: p.RewritingSize(),
+		Stages:        clock.stages,
+		TraceID:       tr.ID(),
+	}
+	if p.HasCompiled() {
+		info.Quantifiers = p.Program().PlanSummary()
+	}
+	if info.Stages == nil {
+		info.Stages = []ExplainStage{}
+	}
+	return info
+}
+
 // handleBatch answers POST /v1/batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	clock := &stageClock{}
 	var req BatchRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeDecodeError(w, err)
@@ -206,11 +309,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d databases exceeds the limit of %d", n, s.opt.MaxBatchItems))
 		return
 	}
-	q, err := parse.Query(req.Query)
+	var q schema.Query
+	var err error
+	psp := tr.StartSpan("parse")
+	clock.time("parse", func() { q, err = parse.Query(req.Query) })
 	if err != nil {
+		psp.Fail(err)
+		psp.End()
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
 		return
 	}
+	psp.End()
 	items := make([]engine.Item, 0, n)
 	resolveErrs := make([]string, 0, n)
 	// Named databases resolve to a consistent snapshot each; the batch
@@ -253,7 +362,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.reg.Counter("batch_items_total").Add(uint64(len(good)))
-	results := s.eng.CertainBatch(r.Context(), good)
+	var results []engine.Result
+	esp := tr.StartSpan("eval")
+	esp.SetAttr("items", strconv.Itoa(len(good)))
+	clock.time("eval", func() { results = s.eng.CertainBatch(r.Context(), good) })
+	esp.End()
 	resp := BatchResponse{Results: make([]BatchResult, n)}
 	gi := 0
 	for i := range items {
@@ -269,8 +382,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = BatchResult{Certain: res.Certain}
 		}
 	}
-	if p, err := s.eng.Prepare(q); err == nil {
+	if p, planHit, err := s.eng.PrepareCached(q); err == nil {
 		resp.Verdict = string(p.Classification().Verdict)
+		strategy := s.eng.BatchStrategy(p)
+		s.reg.Counter(metrics.Label("eval_total",
+			"strategy", strategy, "cache", "bypass")).Add(uint64(len(good)))
+		if req.Explain {
+			// Batches bypass the versioned result cache; the explain covers
+			// the batch as a whole (BatchStrategy: items never take the
+			// parallel hot path, the batch is the parallelism).
+			resp.Explain = explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -291,10 +413,18 @@ func (s *Server) writeWorkError(w http.ResponseWriter, err error) {
 }
 
 // handleStats answers GET /v1/stats with engine and server counters,
-// daemon uptime, and the plan/result cache hit ratios.
+// daemon uptime, and the plan/result cache hit ratios. On a router the
+// response is built by Router.handleStats instead, which adds the
+// aggregated per-shard entries.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+// statsResponse assembles this server's own StatsResponse.
+func (s *Server) statsResponse() StatsResponse {
 	st := s.eng.Stats()
 	resp := StatsResponse{
+		Scope:         s.role(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Engine: EngineStats{
 			CacheHits:           st.CacheHits,
@@ -321,7 +451,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if total := st.ResultHits + st.ResultMisses; total > 0 {
 		resp.Engine.ResultHitRate = float64(st.ResultHits) / float64(total)
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // handleHealthz reports liveness: the process is up and serving.
@@ -341,11 +471,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleMetrics answers GET /metrics with a one-line plain-text summary
-// of the registry plus the engine stats line.
+// handleMetrics answers GET /metrics in the Prometheus text exposition
+// format (version 0.0.4): one TYPE line per family, labeled series for
+// per-endpoint, per-shard, per-strategy, and cache-outcome instruments,
+// histograms as cumulative buckets in seconds. metrics.LintPrometheus
+// guards the format in tests and `make obs-smoke`.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%s | engine: %s\n", s.reg.Summary(), s.eng.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.reg.Counter("errors_total").Inc()
+	}
 }
 
 // handleDebugVars serves the expvar JSON document: every expvar-published

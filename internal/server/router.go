@@ -9,11 +9,17 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/engine"
+	"cqa/internal/metrics"
+	"cqa/internal/obs"
 	"cqa/internal/parse"
+	"cqa/internal/schema"
 	"cqa/internal/shard"
 )
 
@@ -87,10 +93,14 @@ func NewRouter(opt RouterOptions) *Router {
 	mux.Handle("POST /v1/db/delete", rt.inner.api("db_delete_total", rt.handleDBWrite(true)))
 	mux.HandleFunc("GET /v1/db/info", rt.handleDBInfo)
 	mux.HandleFunc("GET /v1/shards", rt.handleShards)
-	// Everything else — classify, inline batch, stats, health, metrics —
-	// is served by the local half.
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	// Everything else — classify, inline batch, health, metrics — is
+	// served by the local half.
 	mux.Handle("/", rt.inner.Handler())
-	rt.handler = rt.inner.recoverPanics(mux)
+	// traced is outermost so fan-out endpoints get a trace covering every
+	// per-shard RPC span; the local half's own middleware sees the trace
+	// in the context and does not mint a second one.
+	rt.handler = rt.inner.traced(rt.inner.recoverPanics(mux))
 	return rt
 }
 
@@ -121,6 +131,9 @@ func (rt *Router) postJSON(ctx context.Context, base, path string, body, out any
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.FromContext(ctx).ID(); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return err
@@ -134,6 +147,9 @@ func (rt *Router) getJSON(ctx context.Context, base, path string, out any) error
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return err
+	}
+	if id := obs.FromContext(ctx).ID(); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -165,29 +181,53 @@ type shardError struct {
 
 func (e *shardError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
 
+// rpc runs one logical shard interaction under a span and the per-shard
+// RPC metrics: shard_rpc_latency{shard} observes the wall clock,
+// shard_rpc_total{shard,outcome} counts successes and failures, and a
+// failing call marks the span failed (the signal the chaos tests assert
+// after a SIGKILL).
+func (rt *Router) rpc(ctx context.Context, i int, name string, do func() error) error {
+	sh := strconv.Itoa(i)
+	sp := obs.FromContext(ctx).StartSpan("rpc").SetAttr("shard", sh).SetAttr("op", name)
+	start := time.Now()
+	err := do()
+	rt.inner.reg.Histogram(metrics.Label("shard_rpc_latency", "shard", sh)).Observe(time.Since(start))
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		sp.Fail(err)
+	}
+	rt.inner.reg.Counter(metrics.Label("shard_rpc_total", "shard", sh, "outcome", outcome)).Inc()
+	sp.End()
+	return err
+}
+
 // readShard tries a read request against shard i's targets in
 // preference order. A structured shard error (the shard is alive and
 // rejected the request) is returned as-is; connection failures fall
 // through to the next target.
 func (rt *Router) readShard(ctx context.Context, i int, do func(base string) error) error {
-	var last error
-	for _, base := range rt.readTargets(i) {
-		err := do(base)
-		if err == nil {
-			return nil
+	return rt.rpc(ctx, i, "read", func() error {
+		var last error
+		for _, base := range rt.readTargets(i) {
+			err := do(base)
+			if err == nil {
+				return nil
+			}
+			if _, structured := err.(*shardError); structured {
+				return err
+			}
+			last = err
 		}
-		if _, structured := err.(*shardError); structured {
-			return err
-		}
-		last = err
-	}
-	return fmt.Errorf("shard %d unreachable: %w", i, last)
+		return fmt.Errorf("shard %d unreachable: %w", i, last)
+	})
 }
 
 // writePartialResult reports a read that needed a dead shard: the
 // explicit partial-result error of degraded serving.
-func (rt *Router) writePartialResult(w http.ResponseWriter, err error) {
-	rt.inner.writeError(w, http.StatusServiceUnavailable, "partial_result",
+func (rt *Router) writePartialResult(w http.ResponseWriter, r *http.Request, err error) {
+	rt.inner.reg.Counter("partial_result_total").Inc()
+	rt.inner.writeErrorTraced(w, r, http.StatusServiceUnavailable, "partial_result",
 		fmt.Sprintf("query touches an unreachable shard: %v", err))
 }
 
@@ -209,16 +249,31 @@ func (rt *Router) handleCertain(w http.ResponseWriter, r *http.Request) {
 		rt.inner.handleCertain(w, r)
 		return
 	}
-	q, err := parse.Query(req.Query)
+	tr := obs.FromContext(r.Context())
+	clock := &stageClock{}
+	var q schema.Query
+	psp := tr.StartSpan("parse")
+	clock.time("parse", func() { q, err = parse.Query(req.Query) })
 	if err != nil {
+		psp.Fail(err)
+		psp.End()
 		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
 		return
 	}
-	p, err := rt.inner.eng.Prepare(q)
+	psp.End()
+	var p *core.Prepared
+	var planHit bool
+	sp := tr.StartSpan("prepare")
+	clock.time("prepare", func() { p, planHit, err = rt.inner.eng.PrepareCached(q) })
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		rt.inner.writeWorkError(w, err)
 		return
 	}
+	strategy := rt.inner.eng.Strategy(p)
+	sp.SetAttr("planCache", cacheOutcome(planHit)).SetAttr("strategy", strategy)
+	sp.End()
 	verdict := string(p.Classification().Verdict)
 	n := len(rt.shards)
 	touched, _ := shard.Touched(q, n)
@@ -226,26 +281,41 @@ func (rt *Router) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if len(q.Lits) == 1 && !q.Lits[0].Neg {
 		// Verdict scatter: per-shard answers OR-combine for a single
 		// positive atom, so only the touched shards are asked and the
-		// first true short-circuits.
+		// first true short-circuits. Evaluation runs on the shards; the
+		// explain reports the scatter plan and the contacted shards.
 		certain := false
-		for _, i := range touched {
-			var ans CertainResponse
-			err := rt.readShard(r.Context(), i, func(base string) error {
-				return rt.postJSON(r.Context(), base, "/v1/certain",
-					CertainRequest{Query: req.Query, Database: req.Database}, &ans)
-			})
-			if err != nil {
-				rt.relayShardError(w, err)
-				return
+		asked := touched[:0:0]
+		clock.time("scatter", func() {
+			for _, i := range touched {
+				var ans CertainResponse
+				err = rt.readShard(r.Context(), i, func(base string) error {
+					return rt.postJSON(r.Context(), base, "/v1/certain",
+						CertainRequest{Query: req.Query, Database: req.Database}, &ans)
+				})
+				if err != nil {
+					return
+				}
+				asked = append(asked, i)
+				if ans.Certain {
+					certain = true
+					return
+				}
 			}
-			if ans.Certain {
-				certain = true
-				break
-			}
-		}
-		rt.inner.writeJSON(w, http.StatusOK, CertainResponse{
-			Certain: certain, Verdict: verdict, Database: req.Database,
 		})
+		if err != nil {
+			rt.relayShardError(w, r, err)
+			return
+		}
+		resp := CertainResponse{
+			Certain: certain, Verdict: verdict, Database: req.Database,
+		}
+		if req.Explain {
+			info := explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+			info.ShardPlan = engine.ShardPlanScatter
+			info.Shards = asked
+			resp.Explain = info
+		}
+		rt.inner.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
@@ -254,28 +324,56 @@ func (rt *Router) handleCertain(w http.ResponseWriter, r *http.Request) {
 	// multi-atom queries confined to live shards stay answerable when
 	// other shards are down.
 	merged := db.New()
-	for _, i := range touched {
-		var fr FactsResponse
-		err := rt.readShard(r.Context(), i, func(base string) error {
-			return rt.getJSON(r.Context(), base, "/v1/db/facts?db="+url.QueryEscape(req.Database), &fr)
-		})
-		if err != nil {
-			rt.relayShardError(w, err)
-			return
+	var mergeErr error
+	clock.time("gather", func() {
+		for _, i := range touched {
+			var fr FactsResponse
+			err = rt.readShard(r.Context(), i, func(base string) error {
+				return rt.getJSON(r.Context(), base, "/v1/db/facts?db="+url.QueryEscape(req.Database), &fr)
+			})
+			if err != nil {
+				return
+			}
+			if mergeErr = mergeFacts(merged, fr); mergeErr != nil {
+				return
+			}
 		}
-		if err := mergeFacts(merged, fr); err != nil {
-			rt.inner.writeError(w, http.StatusBadGateway, "bad_shard_facts", err.Error())
-			return
-		}
+	})
+	if err != nil {
+		rt.relayShardError(w, r, err)
+		return
+	}
+	if mergeErr != nil {
+		rt.inner.writeError(w, http.StatusBadGateway, "bad_shard_facts", mergeErr.Error())
+		return
 	}
 	if err := parse.DeclareQueryRelations(merged, q); err != nil {
 		rt.inner.writeError(w, http.StatusUnprocessableEntity, "bad_query", err.Error())
 		return
 	}
 	v, err := rt.inner.bounded(r.Context(), func() (any, error) {
-		return CertainResponse{
-			Certain: p.Certain(merged), Verdict: verdict, Database: req.Database,
-		}, nil
+		var certain bool
+		var err error
+		esp := tr.StartSpan("eval")
+		clock.time("eval", func() { certain, err = rt.inner.eng.CertainWith(p, merged) })
+		if err != nil {
+			esp.Fail(err)
+			esp.End()
+			return nil, err
+		}
+		esp.End()
+		rt.inner.reg.Counter(metrics.Label("eval_total",
+			"strategy", strategy, "cache", "bypass")).Inc()
+		resp := CertainResponse{
+			Certain: certain, Verdict: verdict, Database: req.Database,
+		}
+		if req.Explain {
+			info := explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+			info.ShardPlan = "merge"
+			info.Shards = touched
+			resp.Explain = info
+		}
+		return resp, nil
 	})
 	if err != nil {
 		rt.inner.writeWorkError(w, err)
@@ -287,12 +385,12 @@ func (rt *Router) handleCertain(w http.ResponseWriter, r *http.Request) {
 // relayShardError maps a fan-out failure: unknown_database and other
 // structured shard rejections relay with their status; connection
 // failures become the 503 partial_result of degraded serving.
-func (rt *Router) relayShardError(w http.ResponseWriter, err error) {
+func (rt *Router) relayShardError(w http.ResponseWriter, r *http.Request, err error) {
 	if se, ok := err.(*shardError); ok {
 		rt.inner.writeError(w, se.status, se.code, se.msg)
 		return
 	}
-	rt.writePartialResult(w, err)
+	rt.writePartialResult(w, r, err)
 }
 
 // mergeFacts folds one shard's facts export into dst.
@@ -377,10 +475,12 @@ func (rt *Router) handleDBCreate(w http.ResponseWriter, r *http.Request) {
 	var total uint64
 	for i, base := range rt.shards {
 		var ack DBWriteResponse
-		err := rt.postJSON(r.Context(), base, "/v1/db/create",
-			DBCreateRequest{Name: req.Name, Facts: perShard[i], Declare: sigs}, &ack)
+		err := rt.rpc(r.Context(), i, "create", func() error {
+			return rt.postJSON(r.Context(), base, "/v1/db/create",
+				DBCreateRequest{Name: req.Name, Facts: perShard[i], Declare: sigs}, &ack)
+		})
 		if err != nil {
-			rt.relayWriteError(w, i, err)
+			rt.relayWriteError(w, r, i, err)
 			return
 		}
 		total += ack.Version
@@ -423,10 +523,12 @@ func (rt *Router) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Re
 		touched := make(map[string]bool)
 		for i, base := range rt.shards {
 			var ack DBWriteResponse
-			err := rt.postJSON(r.Context(), base, path,
-				DBWriteRequest{Database: req.Database, Facts: perShard[i], Declare: sigs}, &ack)
+			err := rt.rpc(r.Context(), i, "write", func() error {
+				return rt.postJSON(r.Context(), base, path,
+					DBWriteRequest{Database: req.Database, Facts: perShard[i], Declare: sigs}, &ack)
+			})
 			if err != nil {
-				rt.relayWriteError(w, i, err)
+				rt.relayWriteError(w, r, i, err)
 				return
 			}
 			resp.Version += ack.Version
@@ -448,12 +550,13 @@ func (rt *Router) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Re
 // error names the failing shard explicitly (partial_write) rather than
 // pretending nothing happened. Structured rejections (exists, bad
 // facts) relay as-is.
-func (rt *Router) relayWriteError(w http.ResponseWriter, i int, err error) {
+func (rt *Router) relayWriteError(w http.ResponseWriter, r *http.Request, i int, err error) {
 	if se, ok := err.(*shardError); ok {
 		rt.inner.writeError(w, se.status, se.code, se.msg)
 		return
 	}
-	rt.inner.writeError(w, http.StatusServiceUnavailable, "partial_write",
+	rt.inner.reg.Counter("partial_write_total").Inc()
+	rt.inner.writeErrorTraced(w, r, http.StatusServiceUnavailable, "partial_write",
 		fmt.Sprintf("shard %d failed mid-batch; earlier shards applied their slices: %v", i, err))
 }
 
@@ -468,7 +571,7 @@ func (rt *Router) handleDBInfo(w http.ResponseWriter, r *http.Request) {
 			return rt.getJSON(r.Context(), base, "/v1/db/info", &info)
 		})
 		if err != nil {
-			rt.writePartialResult(w, err)
+			rt.writePartialResult(w, r, err)
 			return
 		}
 		for _, d := range info.Databases {
@@ -506,6 +609,31 @@ func containsStr(xs []string, s string) bool {
 		}
 	}
 	return false
+}
+
+// handleStats answers GET /v1/stats on the router: the local half's own
+// stats under scope "router", plus one aggregated entry per downstream
+// shard server (replica-first, like every read). A dead shard yields an
+// entry with Error set instead of failing the whole response, so the
+// stats endpoint stays useful exactly when shards are down.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := rt.inner.statsResponse()
+	resp.Scope = "router"
+	for i := range rt.shards {
+		entry := ShardStatsEntry{Index: i, URL: rt.shards[i]}
+		var st StatsResponse
+		err := rt.readShard(r.Context(), i, func(base string) error {
+			entry.URL = base
+			return rt.getJSON(r.Context(), base, "/v1/stats", &st)
+		})
+		if err != nil {
+			entry.Error = err.Error()
+		} else {
+			entry.Stats = &st
+		}
+		resp.Shards = append(resp.Shards, entry)
+	}
+	rt.inner.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleShards reports the router role and per-shard health: each

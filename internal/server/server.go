@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"cqa/internal/db"
 	"cqa/internal/engine"
 	"cqa/internal/metrics"
+	"cqa/internal/obs"
 	"cqa/internal/shard"
 	"cqa/internal/store"
 )
@@ -61,6 +63,11 @@ type Options struct {
 	// Metrics receives request counters and latencies; nil creates a
 	// fresh registry (exposed via Registry).
 	Metrics *metrics.Registry
+	// Tracer records per-request traces served at GET /debug/traces; nil
+	// creates a default tracer (record everything, obs.DefaultBuffer
+	// traces retained). Disable by passing a tracer built with a negative
+	// TracerOptions.Sample.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP front end. Create with New, serve via Handler, and
@@ -70,6 +77,7 @@ type Server struct {
 	eng      *engine.Engine
 	stores   *shard.Set
 	reg      *metrics.Registry
+	tracer   *obs.Tracer
 	sem      chan struct{}
 	draining atomic.Bool
 	handler  http.Handler
@@ -96,6 +104,9 @@ func New(opt Options) *Server {
 	if opt.Metrics == nil {
 		opt.Metrics = metrics.NewRegistry()
 	}
+	if opt.Tracer == nil {
+		opt.Tracer = obs.NewTracer(obs.TracerOptions{})
+	}
 	if opt.Stores == nil {
 		// Dir == "" cannot fail: no directory is scanned.
 		opt.Stores, _ = shard.OpenSet(store.Options{}, opt.Shards)
@@ -105,6 +116,7 @@ func New(opt Options) *Server {
 		eng:    opt.Engine,
 		stores: opt.Stores,
 		reg:    opt.Metrics,
+		tracer: opt.Tracer,
 		sem:    make(chan struct{}, opt.MaxInFlight),
 		start:  time.Now(),
 	}
@@ -129,9 +141,16 @@ func New(opt Options) *Server {
 	} {
 		s.reg.Counter(n)
 	}
+	s.reg.Counter("partial_result_total")
+	s.reg.Counter("partial_write_total")
 	s.reg.Gauge("requests_inflight")
 	s.reg.Gauge("snapshot_version")
 	s.reg.Histogram("request_latency")
+	s.reg.Histogram("wal_fsync_latency")
+	s.reg.SetFunc("admission_queue_depth", func() any { return uint64(len(s.sem)) })
+	s.reg.SetFunc("traces_sampled", func() any { n, _, _ := s.tracer.Stats(); return n })
+	s.reg.SetFunc("traces_dropped", func() any { _, n, _ := s.tracer.Stats(); return n })
+	s.reg.SetFunc("slow_queries", func() any { _, _, n := s.tracer.Stats(); return n })
 	s.reg.SetFunc("engine_cache_hit_rate", func() any {
 		st := s.eng.Stats()
 		total := st.CacheHits + st.CacheMisses
@@ -163,6 +182,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	if opt.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -170,7 +190,9 @@ func New(opt Options) *Server {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.recoverPanics(mux)
+	// The trace middleware is outermost so panic-isolation responses can
+	// carry the request's trace ID.
+	s.handler = s.traced(s.recoverPanics(mux))
 	return s
 }
 
@@ -221,15 +243,17 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // the per-request timeout, and request metrics. counterName is the
 // per-endpoint counter to bump.
 func (s *Server) api(counterName string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	endpoint := strings.TrimSuffix(counterName, "_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("requests_total").Inc()
+		s.reg.Counter(metrics.Label("requests_by_endpoint_total", "endpoint", endpoint)).Inc()
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
 			s.reg.Counter("rejected_total").Inc()
 			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, "overloaded",
+			s.writeErrorTraced(w, r, http.StatusTooManyRequests, "overloaded",
 				fmt.Sprintf("server at max in-flight requests (%d)", s.opt.MaxInFlight))
 			return
 		}
@@ -256,7 +280,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				s.reg.Counter("panics_total").Inc()
-				s.writeError(w, http.StatusInternalServerError, "internal_panic",
+				s.writeErrorTraced(w, r, http.StatusInternalServerError, "internal_panic",
 					fmt.Sprintf("handler panicked: %v", rec))
 			}
 		}()

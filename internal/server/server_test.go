@@ -11,6 +11,7 @@ import (
 
 	"cqa/internal/db"
 	"cqa/internal/engine"
+	"cqa/internal/metrics"
 	"cqa/internal/parse"
 )
 
@@ -168,6 +169,9 @@ func TestStatsAndOpsEndpoints(t *testing.T) {
 	if stats.UptimeSeconds <= 0 {
 		t.Errorf("uptimeSeconds = %v, want > 0", stats.UptimeSeconds)
 	}
+	if stats.Scope != "primary" {
+		t.Errorf("stats scope = %q, want primary", stats.Scope)
+	}
 	if stats.Server["certain_total"] != float64(3) {
 		t.Errorf("certain_total = %v, want 3", stats.Server["certain_total"])
 	}
@@ -192,17 +196,40 @@ func TestStatsAndOpsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	line := buf.String()
-	for _, frag := range []string{"requests_total=3", "certain_total=3", "request_latency{count=3", "engine_cache_hit_rate=0.75", "engine: cache: 3 hits"} {
-		if !strings.Contains(line, frag) {
-			t.Errorf("/metrics lacks %q:\n%s", frag, line)
+	text := buf.String()
+	if err := metrics.LintPrometheus(text); err != nil {
+		t.Fatalf("/metrics fails exposition lint: %v\n%s", err, text)
+	}
+	exp, err := metrics.ParsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"requests_total":                3,
+		"certain_total":                 3,
+		"request_latency_seconds_count": 3,
+		"engine_cache_hit_rate":         0.75,
+	} {
+		if v, ok := exp.Value(name); !ok || v != want {
+			t.Errorf("/metrics %s = %v (present=%v), want %v", name, v, ok, want)
 		}
 	}
-	if n := strings.Count(strings.TrimSpace(line), "\n"); n != 0 {
-		t.Errorf("/metrics should be one line, got %d newlines", n)
+	if v, ok := exp.Value("requests_by_endpoint_total", "endpoint", "certain"); !ok || v != 3 {
+		t.Errorf("endpoint-labeled counter = %v (present=%v), want 3", v, ok)
+	}
+	// One evaluation ran (compiled strategy, result-cache miss); the two
+	// repeats hit the versioned result cache.
+	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiled, "cache", "miss"); !ok || v != 1 {
+		t.Errorf("eval_total miss = %v (present=%v), want 1", v, ok)
+	}
+	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiled, "cache", "hit"); !ok || v != 2 {
+		t.Errorf("eval_total hit = %v (present=%v), want 2", v, ok)
 	}
 
 	resp, err = http.Get(ts.URL + "/debug/vars")

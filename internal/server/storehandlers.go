@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"cqa/internal/obs"
 	"cqa/internal/parse"
 	"cqa/internal/store"
 )
@@ -79,10 +80,14 @@ func (s *Server) handleDBCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "bad_declare", err.Error())
 		return
 	}
+	wsp := obs.FromContext(r.Context()).StartSpan("wal-append")
 	if _, err := sh.ApplyDB(seed); err != nil {
+		wsp.Fail(err)
+		wsp.End()
 		s.writeError(w, http.StatusInternalServerError, "write_failed", err.Error())
 		return
 	}
+	wsp.End()
 	s.writeJSON(w, http.StatusOK, DBWriteResponse{
 		Database: req.Name,
 		Version:  sh.Version(),
@@ -124,6 +129,7 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 			s.writeError(w, http.StatusUnprocessableEntity, "bad_declare", err.Error())
 			return
 		}
+		wsp := obs.FromContext(r.Context()).StartSpan("wal-append")
 		var change store.Change
 		if del {
 			change, err = sh.DeleteDB(batch)
@@ -131,9 +137,12 @@ func (s *Server) handleDBWrite(del bool) func(w http.ResponseWriter, r *http.Req
 			change, err = sh.ApplyDB(batch)
 		}
 		if err != nil {
+			wsp.Fail(err)
+			wsp.End()
 			s.writeError(w, http.StatusUnprocessableEntity, "write_failed", err.Error())
 			return
 		}
+		wsp.End()
 		s.writeJSON(w, http.StatusOK, DBWriteResponse{
 			Database: req.Database,
 			Version:  sh.Version(),

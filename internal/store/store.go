@@ -32,6 +32,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cqa/internal/db"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	// request falls back to a snapshot bootstrap. ≤ 0 selects
 	// DefaultMaxFollowerLag.
 	MaxFollowerLag int
+	// OnFsync, when non-nil, observes the duration of every WAL fsync
+	// performed because Sync is set. Called under the store's write lock;
+	// keep it cheap (a histogram observation, not I/O).
+	OnFsync func(d time.Duration)
 }
 
 // Snapshot is one immutable version of the database. DB must not be
@@ -420,9 +425,13 @@ func (s *Store) apply(ops []walOp) (Change, error) {
 			return Change{}, fmt.Errorf("store: WAL append failed, store closed: %w", err)
 		}
 		if s.opt.Sync {
+			start := time.Now()
 			if err := s.wal.Sync(); err != nil {
 				s.closed = true
 				return Change{}, fmt.Errorf("store: WAL sync failed, store closed: %w", err)
+			}
+			if s.opt.OnFsync != nil {
+				s.opt.OnFsync(time.Since(start))
 			}
 		}
 		n := uint64(change.Applied)
