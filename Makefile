@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench bench-smoke experiments serve-smoke store-smoke shard-smoke obs-smoke chaos bench-shard clean
+.PHONY: check build vet test race fuzz bench bench-smoke planner-smoke experiments serve-smoke store-smoke shard-smoke obs-smoke chaos bench-shard clean
 
-check: vet test race fuzz bench bench-smoke shard-smoke obs-smoke
+check: vet test race fuzz bench bench-smoke planner-smoke shard-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ bench:
 # instance (the gate lives in certbench's -bench-out mode).
 bench-smoke:
 	$(GO) run ./cmd/certbench -bench-out BENCH_eval.json -quick
+
+# Planner smoke: the graph deciders' differential tests against the
+# naive repair-enumeration oracle (500 random cyclic instances), the
+# shared-decision race check, and the end-to-end served-strategy checks
+# through the HTTP stack (docs/PLANNER.md).
+planner-smoke:
+	$(GO) test -run 'TestDifferentialDecidersVsNaive|TestDecidersOnEdgeInstances|TestSharedDecisionRace' -count=1 ./internal/planner
+	$(GO) test -run 'TestPlanner' -count=1 ./internal/server
 
 experiments:
 	$(GO) run ./cmd/certbench -quick

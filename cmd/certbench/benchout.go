@@ -18,7 +18,9 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/fo"
 	"cqa/internal/gen"
+	"cqa/internal/naive"
 	"cqa/internal/parse"
+	"cqa/internal/planner"
 	"cqa/internal/rewrite"
 	"cqa/internal/schema"
 )
@@ -117,6 +119,9 @@ func runBenchOut(path string, quick bool) error {
 	}
 	fmt.Printf("  largest instance: compiled %d ns/op vs tree-walk %d ns/op (%.1fx)\n",
 		last.compiled, last.tree, float64(last.tree)/float64(max64(last.compiled, 1)))
+	if err := runBenchCyclic(&entries, quick); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err
@@ -126,6 +131,89 @@ func runBenchOut(path string, quick bool) error {
 		return err
 	}
 	fmt.Printf("  wrote %d entries to %s\n", len(entries), path)
+	return nil
+}
+
+// cyclicBenchQuery is the non-FO workload: the paper's q1 mutual-
+// negation shape, where the planner's matching decider replaces naive
+// repair enumeration (docs/PLANNER.md).
+const cyclicBenchQuery = "R(x | y), !S(y | x)"
+
+// cyclicBenchSizes stay small because the naive baseline enumerates up
+// to 2^(2·blocks) repairs per evaluation.
+func cyclicBenchSizes(quick bool) []int {
+	if quick {
+		return []int{2, 4, 6}
+	}
+	return []int{4, 8, 10}
+}
+
+// runBenchCyclic appends the cyclic-query records: matching decider vs
+// naive repair enumeration on the same instances, cross-checked for
+// agreement before timing. The run fails if the decider is not faster
+// than enumeration on the largest instance.
+func runBenchCyclic(entries *[]benchEntry, quick bool) error {
+	q := parse.MustQuery(cyclicBenchQuery)
+	plan := planner.New(q, false)
+	if plan.Class != planner.ClassMatching {
+		return fmt.Errorf("bench-out: %s classified %s, want %s", cyclicBenchQuery, plan.Class, planner.ClassMatching)
+	}
+	type largest struct{ naive, matching int64 }
+	var last largest
+	for _, blocks := range cyclicBenchSizes(quick) {
+		rng := rand.New(rand.NewSource(int64(5000 + blocks)))
+		opt := gen.DBOptions{BlocksPerRelation: blocks, MaxBlockSize: 2,
+			DomainPerVariable: blocks, ConstantBias: 0.7}
+		d := gen.Database(rng, q, opt)
+		declareAll(d, q)
+		want := naive.IsCertain(q, d)
+		got, ok := plan.Certain(d.Interned())
+		if !ok || got != want {
+			return fmt.Errorf("bench-out: matching decider (certain=%v ok=%v) disagrees with naive (%v) on %s blocks=%d",
+				got, ok, want, cyclicBenchQuery, blocks)
+		}
+		runs := []struct {
+			engine string
+			body   func()
+		}{
+			{"naive-repair", func() { naive.IsCertain(q, d) }},
+			{"matching", func() { plan.Certain(d.Interned()) }},
+		}
+		for _, r := range runs {
+			body := r.body
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					body()
+				}
+			})
+			e := benchEntry{
+				Experiment:  "E16",
+				Query:       cyclicBenchQuery,
+				Blocks:      blocks,
+				Facts:       d.Size(),
+				Engine:      r.engine,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			*entries = append(*entries, e)
+			fmt.Printf("  %-45s blocks=%-5d %-17s %10d ns/op %6d allocs/op\n",
+				cyclicBenchQuery, blocks, r.engine, e.NsPerOp, e.AllocsPerOp)
+			switch r.engine {
+			case "naive-repair":
+				last.naive = e.NsPerOp
+			case "matching":
+				last.matching = e.NsPerOp
+			}
+		}
+	}
+	if last.matching >= last.naive {
+		return fmt.Errorf("bench-out: matching decider (%d ns/op) not faster than naive enumeration (%d ns/op) on the largest cyclic instance",
+			last.matching, last.naive)
+	}
+	fmt.Printf("  largest cyclic instance: matching %d ns/op vs naive %d ns/op (%.1fx)\n",
+		last.matching, last.naive, float64(last.naive)/float64(max64(last.matching, 1)))
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"cqa/internal/direct"
 	"cqa/internal/fo"
 	"cqa/internal/naive"
+	"cqa/internal/planner"
 	"cqa/internal/schema"
 )
 
@@ -29,12 +30,17 @@ type Prepared struct {
 	cls *Classification
 	// prog is the compiled rewriting (FO verdicts only).
 	prog *fo.Program
+	// plan is the planner's strategy selection; for non-FO queries it
+	// carries the polynomial graph decider Certain dispatches to.
+	plan *planner.Plan
 
 	// bounds caches the program linked against interned databases, so a
 	// hot (query, database-version) pair pays for constant resolution and
-	// candidate materialization once.
-	mu     sync.Mutex
-	bounds map[*db.Interned]*fo.Bound
+	// candidate materialization once. decisions caches the planner's
+	// recorded decision the same way (explain output asks per request).
+	mu        sync.Mutex
+	bounds    map[*db.Interned]*fo.Bound
+	decisions map[*db.Interned]*planner.Decision
 }
 
 // Prepare validates, classifies, and — when CERTAINTY(q) is in FO —
@@ -44,7 +50,7 @@ func Prepare(q schema.Query) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{cls: cls}
+	p := &Prepared{cls: cls, plan: planner.New(q, cls.Verdict == VerdictFO)}
 	if cls.Verdict == VerdictFO {
 		prog, err := fo.Compile(cls.Rewriting)
 		if err != nil {
@@ -109,8 +115,42 @@ func (p *Prepared) bound(d *db.Database) *fo.Bound {
 	return b
 }
 
+// Plan returns the planner's strategy selection for the query.
+func (p *Prepared) Plan() *planner.Plan { return p.plan }
+
+// PlanStrategy returns the evaluation-strategy label of the planner's
+// plan for non-FO queries ("matching", "reachability", "naive-repair").
+// It is "" for FO queries, whose strategy the engine names (the choice
+// between compiled and tree-walk evaluation is an engine option).
+func (p *Prepared) PlanStrategy() string { return p.plan.Strategy }
+
+// Decision returns the planner's recorded decision for d's current
+// snapshot — strategy, reason, and the relation statistics consulted —
+// consulting the per-plan cache first.
+func (p *Prepared) Decision(d *db.Database) *planner.Decision {
+	ix := d.Interned()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dec, ok := p.decisions[ix]; ok {
+		return dec
+	}
+	dec := p.plan.Decide(ix)
+	if p.decisions == nil {
+		p.decisions = make(map[*db.Interned]*planner.Decision)
+	}
+	if len(p.decisions) >= maxBoundCache {
+		for k := range p.decisions {
+			delete(p.decisions, k)
+			break
+		}
+	}
+	p.decisions[ix] = dec
+	return dec
+}
+
 // Certain answers CERTAINTY(q) on d: via the compiled rewriting when the
-// query is in FO, by repair enumeration otherwise.
+// query is in FO, via the planner's polynomial graph decider when one
+// matches the (cyclic) query shape, by repair enumeration otherwise.
 func (p *Prepared) Certain(d *db.Database) bool {
 	if p.InFO() {
 		if b := p.bound(d); b != nil {
@@ -118,13 +158,24 @@ func (p *Prepared) Certain(d *db.Database) bool {
 		}
 		return evalOn(d, p.cls.Query, p.cls.Rewriting)
 	}
+	return p.certainNonFO(d)
+}
+
+// certainNonFO dispatches a non-FO query to the planner's decider when
+// one exists, else to repair enumeration.
+func (p *Prepared) certainNonFO(d *db.Database) bool {
+	if certain, ok := p.plan.Certain(d.Interned()); ok {
+		return certain
+	}
 	return naive.IsCertain(p.cls.Query, d)
 }
 
 // CertainTreeWalk answers like Certain but evaluates the rewriting with
-// the interpreting tree walker (fo.Eval) instead of the compiled program.
-// It exists as the reference oracle for differential tests and as an
-// operational escape hatch (engine.Options.ForceTreeWalk).
+// the interpreting tree walker (fo.Eval) instead of the compiled program,
+// and non-FO queries with repair enumeration instead of the planner's
+// graph deciders. It exists as the reference oracle for differential
+// tests and as the operational rollback switch for both the compiled
+// pipeline and the planner (engine.Options.ForceTreeWalk).
 func (p *Prepared) CertainTreeWalk(d *db.Database) bool {
 	if p.InFO() {
 		return evalOn(d, p.cls.Query, p.cls.Rewriting)
@@ -146,6 +197,11 @@ func (p *Prepared) CertainParallel(d *db.Database, workers, minCandidates int) b
 			return b.EvalParallel(workers, minCandidates)
 		}
 		return evalOnParallel(d, p.cls.Query, p.cls.Rewriting, workers, minCandidates)
+	}
+	// The planner's graph deciders are near-linear single passes; when
+	// one matches there is nothing worth fanning out.
+	if certain, ok := p.plan.Certain(d.Interned()); ok {
+		return certain
 	}
 	return naive.IsCertainParallel(p.cls.Query, d, workers)
 }

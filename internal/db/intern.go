@@ -72,10 +72,34 @@ type InternedRelation struct {
 	mask  uint32
 
 	postings [][]int32 // per column: sorted distinct ids
+
+	// blocks and maxBlock snapshot the key-group statistics of the source
+	// relation at build time (number of blocks, size of the largest
+	// block). The planner consults them to choose and justify an
+	// evaluation strategy without touching the mutable database.
+	blocks   int
+	maxBlock int
 }
 
 // Rows returns the number of stored tuples.
 func (r *InternedRelation) Rows() int { return r.rows }
+
+// NumBlocks returns the number of blocks (maximal key-equal fact groups)
+// the relation had when this view was built.
+func (r *InternedRelation) NumBlocks() int { return r.blocks }
+
+// MaxBlockSize returns the size of the relation's largest block at build
+// time (0 for an empty relation). MaxBlockSize == 1 means the relation is
+// consistent: it contributes exactly one choice to every repair.
+func (r *InternedRelation) MaxBlockSize() int { return r.maxBlock }
+
+// Row returns the i-th interned tuple as a shared subslice of the
+// relation's row-major tuple array. The caller must not mutate it. Row
+// order is the build order of the view; it is deterministic for a given
+// build history but not sorted.
+func (r *InternedRelation) Row(i int) []int32 {
+	return r.data[i*r.Arity : (i+1)*r.Arity]
+}
 
 // Posting returns the sorted distinct ids of column col. The caller must
 // not mutate the result.
@@ -213,6 +237,12 @@ func internWith(dc *dict, prev *Interned, d *Database) *Interned {
 
 func (ix *Interned) buildRelation(r *Relation) *InternedRelation {
 	ir := &InternedRelation{src: r, Arity: r.Arity, Key: r.Key, rows: len(r.facts)}
+	ir.blocks = len(r.blocks)
+	for _, b := range r.blocks {
+		if len(b) > ir.maxBlock {
+			ir.maxBlock = len(b)
+		}
+	}
 	ir.data = make([]int32, 0, ir.rows*r.Arity)
 	size := uint32(4)
 	for size < uint32(ir.rows)*2 {

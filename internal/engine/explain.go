@@ -3,6 +3,7 @@ package engine
 import (
 	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/planner"
 	"cqa/internal/schema"
 	"cqa/internal/shard"
 )
@@ -25,17 +26,22 @@ const (
 	// StrategyTreeWalk interprets the rewriting with fo.Eval — selected
 	// by Options.ForceTreeWalk or when no compiled program is available.
 	StrategyTreeWalk = "tree-walk"
-	// StrategyNaive enumerates repairs; the fallback for queries whose
-	// CERTAINTY is not in FO.
-	StrategyNaive = "naive-repair"
+	// The non-FO strategies are named by the planner, which selects them
+	// per query shape (docs/PLANNER.md): Hopcroft–Karp bipartite matching
+	// for the mutual-negation pattern, union-find reachability for the
+	// all-key edge pattern, and repair enumeration as the last resort.
+	StrategyMatching     = planner.StrategyMatching
+	StrategyReachability = planner.StrategyReachability
+	StrategyNaive        = planner.StrategyNaive
 )
 
 // Strategy reports the evaluation strategy certainWith takes for p under
 // this engine's options. The mapping mirrors certainWith exactly: not
-// in FO → naive repair enumeration (even under ParallelEval, which then
-// parallelizes the repair search); ForceTreeWalk or a missing compiled
-// program → tree walker; otherwise the compiled pipeline, parallel when
-// ParallelEval is set.
+// in FO → the planner's verdict (a polynomial graph decider when the
+// query shape has one, repair enumeration otherwise — ForceTreeWalk
+// disables the deciders too, it is the rollback switch for both
+// pipelines); ForceTreeWalk or a missing compiled program → tree walker;
+// otherwise the compiled pipeline, parallel when ParallelEval is set.
 func (e *Engine) Strategy(p *core.Prepared) string {
 	return e.strategy(p, e.opt.ParallelEval)
 }
@@ -48,7 +54,10 @@ func (e *Engine) BatchStrategy(p *core.Prepared) string {
 
 func (e *Engine) strategy(p *core.Prepared, parallel bool) string {
 	if !p.InFO() {
-		return StrategyNaive
+		if e.opt.ForceTreeWalk {
+			return StrategyNaive
+		}
+		return p.PlanStrategy()
 	}
 	if e.opt.ForceTreeWalk || !p.HasCompiled() {
 		return StrategyTreeWalk

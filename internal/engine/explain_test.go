@@ -12,8 +12,15 @@ import (
 )
 
 func TestStrategyMirrorsCertainWith(t *testing.T) {
-	foQuery := mustQuery(t, "P(x | y), !N('c' | y)")
-	cyclic := mustQuery(t, "R(x | y), S(y | x)") // not-FO (Sec 5.1)
+	queries := map[string]string{
+		"fo": "P(x | y), !N('c' | y)",
+		// Cyclic (not-FO, Sec 5.1) but negation-free, so neither planner
+		// pattern applies: repair enumeration.
+		"cyclic": "R(x | y), S(y | x)",
+		// The paper's q1 and q2 shapes: planner graph deciders.
+		"matching":     "R(x | y), !S(y | x)",
+		"reachability": "E(x, y), !B(x | y), !C(y | x)",
+	}
 
 	cases := []struct {
 		name  string
@@ -27,13 +34,15 @@ func TestStrategyMirrorsCertainWith(t *testing.T) {
 		{"tree-walk beats parallel", Options{ForceTreeWalk: true, ParallelEval: true}, "fo", StrategyTreeWalk},
 		{"naive", Options{}, "cyclic", StrategyNaive},
 		{"naive under parallel", Options{ParallelEval: true}, "cyclic", StrategyNaive},
+		{"matching", Options{}, "matching", StrategyMatching},
+		{"matching under parallel", Options{ParallelEval: true}, "matching", StrategyMatching},
+		{"matching rollback", Options{ForceTreeWalk: true}, "matching", StrategyNaive},
+		{"reachability", Options{}, "reachability", StrategyReachability},
+		{"reachability rollback", Options{ForceTreeWalk: true}, "reachability", StrategyNaive},
 	}
 	for _, c := range cases {
 		e := New(c.opt)
-		q := foQuery
-		if c.query == "cyclic" {
-			q = cyclic
-		}
+		q := mustQuery(t, queries[c.query])
 		p, err := e.Prepare(q)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
@@ -44,7 +53,7 @@ func TestStrategyMirrorsCertainWith(t *testing.T) {
 	}
 	// Batch items never take the parallel hot path.
 	e := New(Options{ParallelEval: true})
-	p, err := e.Prepare(foQuery)
+	p, err := e.Prepare(mustQuery(t, queries["fo"]))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -229,6 +229,57 @@ func (u *UnionFind) Union(a, b string) bool {
 	return true
 }
 
+// IntUnionFind is a disjoint-set structure over the dense integer range
+// [0, n) with union by size and path halving. It is the allocation-light
+// counterpart of UnionFind for graph deciders that work on interned int32
+// ids: two slices, no per-element map entries, no recursion.
+type IntUnionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// NewIntUnionFind returns n singleton sets {0}, …, {n-1}.
+func NewIntUnionFind(n int) *IntUnionFind {
+	u := &IntUnionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Len returns the size of the underlying element range.
+func (u *IntUnionFind) Len() int { return len(u.parent) }
+
+// Find returns the representative of x, halving the path on the way up.
+func (u *IntUnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the surviving root. When
+// the sets were already equal it returns that common root unchanged.
+// Callers that maintain per-root aggregates can fold the absorbed root's
+// value into the returned one.
+func (u *IntUnionFind) Union(a, b int32) int32 {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}
+
+// Size returns the number of elements in x's set.
+func (u *IntUnionFind) Size(x int32) int32 { return u.size[u.Find(x)] }
+
 // Bipartite is a bipartite graph with named left and right vertices.
 type Bipartite struct {
 	Left, Right []string

@@ -1,0 +1,40 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHopcroftKarpIDsAgrees drives the int32 variant and the original
+// int variant with the same random bipartite graphs and compares the
+// matching sizes.
+func TestHopcroftKarpIDsAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		nLeft, nRight := rng.Intn(8), rng.Intn(8)
+		adj := make([][]int, nLeft)
+		adj32 := make([][]int32, nLeft)
+		for u := 0; u < nLeft; u++ {
+			for v := 0; v < nRight; v++ {
+				if rng.Intn(3) == 0 {
+					adj[u] = append(adj[u], v)
+					adj32[u] = append(adj32[u], int32(v))
+				}
+			}
+		}
+		want, _ := HopcroftKarp(nLeft, nRight, adj)
+		if got := HopcroftKarpIDs(nLeft, nRight, adj32); got != want {
+			t.Fatalf("case %d: HopcroftKarpIDs = %d, HopcroftKarp = %d (nLeft=%d nRight=%d adj=%v)",
+				i, got, want, nLeft, nRight, adj)
+		}
+	}
+}
+
+func TestHopcroftKarpIDsEmpty(t *testing.T) {
+	if got := HopcroftKarpIDs(0, 0, nil); got != 0 {
+		t.Fatalf("empty graph matching = %d", got)
+	}
+	if got := HopcroftKarpIDs(3, 2, make([][]int32, 3)); got != 0 {
+		t.Fatalf("edgeless graph matching = %d", got)
+	}
+}

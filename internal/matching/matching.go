@@ -79,6 +79,74 @@ func HopcroftKarp(nLeft, nRight int, adj [][]int) (int, []int) {
 	return size, matchL
 }
 
+// HopcroftKarpIDs is HopcroftKarp over int32 adjacency lists, returning
+// only the matching size. It exists for the planner's graph deciders,
+// which build adjacency directly from interned int32 ids (dense posting
+// indexes) and only need to compare the size against the left side.
+func HopcroftKarpIDs(nLeft, nRight int, adj [][]int32) int {
+	const inf = int32(^uint32(0) >> 1)
+	matchL := make([]int32, nLeft)
+	matchR := make([]int32, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int32, nLeft)
+
+	bfs := func() bool {
+		queue := make([]int32, 0, nLeft)
+		for u := int32(0); u < int32(nLeft); u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := int32(0); u < int32(nLeft); u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return size
+}
+
 // MaxMatching computes a maximum matching of a named bipartite graph. It
 // returns the matching as a map from left vertex to right vertex.
 func MaxMatching(b *graphx.Bipartite) map[string]string {

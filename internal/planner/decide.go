@@ -1,0 +1,90 @@
+package planner
+
+import (
+	"fmt"
+
+	"cqa/internal/db"
+)
+
+// RelStats snapshots the statistics of one relation as the planner saw
+// them on one interned database snapshot.
+type RelStats struct {
+	// Rel is the relation name; the remaining fields are zero when the
+	// snapshot does not declare it (the relation is empty).
+	Rel string `json:"rel"`
+	// Facts is the stored tuple count.
+	Facts int `json:"facts"`
+	// Blocks is the number of blocks (maximal key-equal groups).
+	Blocks int `json:"blocks"`
+	// MaxBlock is the size of the largest block; 1 means the relation is
+	// consistent.
+	MaxBlock int `json:"maxBlock"`
+}
+
+// Decision records one strategy selection for a (plan, snapshot) pair:
+// the db-independent strategy label, the justification (augmented with
+// what the statistics imply for this snapshot), and the statistics
+// consulted. It is what explain output serializes as "planDecision".
+// A Decision is immutable and safe to share across goroutines.
+type Decision struct {
+	Strategy string     `json:"strategy"`
+	Reason   string     `json:"reason"`
+	Stats    []RelStats `json:"stats,omitempty"`
+}
+
+// Decide records the plan's decision against one interned snapshot. The
+// statistics refine the reason but never flip the strategy: the label is
+// a function of the query class alone, so explain output, metrics, and
+// batch evaluation stay consistent for one query whatever databases it
+// meets.
+func (p *Plan) Decide(ix *db.Interned) *Decision {
+	d := &Decision{Strategy: p.Strategy, Reason: p.Reason}
+	for _, rel := range p.rels {
+		st := RelStats{Rel: rel}
+		if r := ix.Relation(rel); r != nil {
+			st.Facts = r.Rows()
+			st.Blocks = r.NumBlocks()
+			st.MaxBlock = r.MaxBlockSize()
+		}
+		d.Stats = append(d.Stats, st)
+	}
+	if p.Class == ClassMatching || p.Class == ClassReachability {
+		// rels[0] is the positive relation for the pattern classes.
+		switch {
+		case d.Stats[0].Facts == 0:
+			d.Reason += "; positive relation empty on this snapshot: trivially not certain"
+		case maxBlockOver(d.Stats) <= 1:
+			d.Reason += "; every block is a singleton: the snapshot has exactly one repair"
+		default:
+			d.Reason += fmt.Sprintf("; %d facts in %d blocks over %d relations",
+				totalFacts(d.Stats), totalBlocks(d.Stats), len(d.Stats))
+		}
+	}
+	return d
+}
+
+func maxBlockOver(stats []RelStats) int {
+	m := 0
+	for _, s := range stats {
+		if s.MaxBlock > m {
+			m = s.MaxBlock
+		}
+	}
+	return m
+}
+
+func totalFacts(stats []RelStats) int {
+	n := 0
+	for _, s := range stats {
+		n += s.Facts
+	}
+	return n
+}
+
+func totalBlocks(stats []RelStats) int {
+	n := 0
+	for _, s := range stats {
+		n += s.Blocks
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package planner_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/gen"
+	"cqa/internal/naive"
+	"cqa/internal/parse"
+	"cqa/internal/planner"
+)
+
+// patternQueries is the pool of decider-served shapes the differential
+// test draws from: the mutual-negation pattern under renamings and both
+// literal orders, and the all-key edge pattern in all four orientation
+// combinations of its negated atoms. The mixed orientations are the
+// paper's cyclic q2 (and its mirror); the same-orientation variants have
+// acyclic attack graphs — core serves them via the FO rewriting and the
+// planner never sees them in production — but the decider must still be
+// sound on them, so they stay in the soundness pool.
+var patternQueries = []struct {
+	text  string
+	notFO bool
+}{
+	{"R(x | y), !S(y | x)", true},
+	{"!Audit(b | a), Emp(a | b)", true},
+	{"E(x, y), !B(x | y), !C(y | x)", true},
+	{"E(x, y), !B(y | x), !C(x | y)", true},
+	{"E(x, y), !B(x | y), !C(x | y)", false},
+	{"E(x, y), !B(y | x), !C(y | x)", false},
+}
+
+// TestDifferentialDecidersVsNaive checks the matching and reachability
+// deciders against brute-force repair enumeration on ≥ 500 random small
+// cyclic instances (≤ 2 facts per block, so the oracle enumerates at
+// most 2^blocks repairs). Every query in the pool must be non-FO and
+// planner-served — a pool entry silently falling back to naive would
+// turn the test into naive-vs-naive.
+func TestDifferentialDecidersVsNaive(t *testing.T) {
+	const cases = 500
+
+	rng := rand.New(rand.NewSource(20180611))
+	dbOpts := gen.DBOptions{BlocksPerRelation: 3, MaxBlockSize: 2, DomainPerVariable: 3, ConstantBias: 0.7}
+
+	for i := 0; i < cases; i++ {
+		entry := patternQueries[i%len(patternQueries)]
+		text := entry.text
+		q := mustQuery(t, text)
+		cls, err := core.Classify(q)
+		if err != nil {
+			t.Fatalf("classify %s: %v", text, err)
+		}
+		if gotFO := cls.Verdict == core.VerdictFO; gotFO == entry.notFO {
+			t.Fatalf("%s: verdict = %s — pool expectation wrong", text, cls.Verdict)
+		}
+		plan := planner.New(q, false)
+		if plan.Class != planner.ClassMatching && plan.Class != planner.ClassReachability {
+			t.Fatalf("%s: class = %s — pool must exercise the deciders", text, plan.Class)
+		}
+
+		d := gen.Database(rng, q, dbOpts)
+		want := naive.IsCertain(q, d)
+		got, ok := plan.Certain(d.Interned())
+		if !ok {
+			t.Fatalf("%s: decider refused", text)
+		}
+		if got != want {
+			t.Fatalf("case %d: decider = %v, naive oracle = %v\nquery: %s\ndb:\n%s", i, got, want, text, d)
+		}
+	}
+}
+
+// TestDecidersOnEdgeInstances pins the hand-checkable boundary cases.
+func TestDecidersOnEdgeInstances(t *testing.T) {
+	matching := planner.New(mustQuery(t, "R(x | y), !S(y | x)"), false)
+	reach := planner.New(mustQuery(t, "E(x, y), !B(x | y), !C(y | x)"), false)
+
+	cases := []struct {
+		name  string
+		plan  *planner.Plan
+		facts string
+		want  bool
+	}{
+		// Empty positive relation: the unique repair falsifies q.
+		{"matching empty R", matching, "S(a | b)", false},
+		// No mutual facts: no falsifying repair exists.
+		{"matching no mutual", matching, "R(a | 1)\nR(a | 2)\nS(z | z)", true},
+		// Example 1.1: a perfect mutual matching exists (not certain).
+		{"matching saturated", matching, "R(a | 1)\nR(b | 2)\nS(1 | a)\nS(2 | b)", false},
+		// Two R-blocks compete for the single S-block of b: certain.
+		{"matching contention", matching, "R(a | b)\nR(c | b)\nS(b | a)\nS(b | c)", true},
+		// Empty edge relation: nothing to satisfy the positive atom.
+		{"reach empty E", reach, "B(a | b)", false},
+		// Uncoverable edge: neither B(a|b) nor C(b|a) exists.
+		{"reach uncoverable", reach, "E(a, b)\nB(x | y)", true},
+		// One edge, coverable one way: the repair keeping B(a|b) falsifies.
+		{"reach single cover", reach, "E(a, b)\nB(a | b)", false},
+		// Two self-loops on the same B-block (B(a|·) must cover both
+		// E(a,b) and E(a,c) but can only choose one value): certain.
+		{"reach overloaded block", reach, "E(a, b)\nE(a, c)\nB(a | b)\nB(a | c)", true},
+		// Same two edges, but C covers one endpoint: both coverable.
+		{"reach relieved block", reach, "E(a, b)\nE(a, c)\nB(a | b)\nB(a | c)\nC(c | a)", false},
+	}
+	for _, c := range cases {
+		d := parse.MustDatabase(c.facts)
+		got, ok := c.plan.Certain(d.Interned())
+		if !ok {
+			t.Fatalf("%s: decider refused", c.name)
+		}
+		if got != c.want {
+			t.Errorf("%s: certain = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSharedDecisionRace shares one prepared plan — and therefore one
+// cached planner decision — across 32 goroutines issuing concurrent
+// Certain and Decision calls against the same snapshot. Run under
+// `go test -race` (make race) this is the data-race check the planner's
+// immutability contract promises; the answers must also all agree with
+// the naive oracle.
+func TestSharedDecisionRace(t *testing.T) {
+	q := mustQuery(t, "R(x | y), !S(y | x)")
+	p, err := core.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	d := gen.Database(rng, q, gen.DBOptions{BlocksPerRelation: 4, MaxBlockSize: 2, DomainPerVariable: 3, ConstantBias: 0.7})
+	want := naive.IsCertain(q, d)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := p.Certain(d); got != want {
+					errs <- "Certain disagrees with oracle"
+					return
+				}
+				dec := p.Decision(d)
+				if dec.Strategy != planner.StrategyMatching {
+					errs <- "Decision strategy = " + dec.Strategy
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"cqa/internal/planner"
 )
 
 // Wire types of the HTTP/JSON API. See docs/SERVING.md for the contract.
@@ -16,7 +18,11 @@ type ClassifyRequest struct {
 }
 
 // ClassifyResponse reports the classification, and — when CERTAINTY(q)
-// is in FO — the consistent first-order rewriting and its SQL form.
+// is in FO — the consistent first-order rewriting and its SQL form. For
+// non-FO queries it instead reports the strategy the planner selected
+// (hardness does not mean repair enumeration: the recognized cyclic
+// shapes are served by polynomial graph deciders, docs/PLANNER.md) and
+// the planner's justification.
 type ClassifyResponse struct {
 	Query         string      `json:"query"`
 	Verdict       string      `json:"verdict"`
@@ -28,6 +34,12 @@ type ClassifyResponse struct {
 	Cycle         []string    `json:"cycle,omitempty"`
 	Rewriting     string      `json:"rewriting,omitempty"`
 	SQL           string      `json:"sql,omitempty"`
+	// PlannedStrategy is the evaluation strategy this server will execute
+	// for the query ("matching", "reachability", "naive-repair"); set for
+	// non-FO verdicts only.
+	PlannedStrategy string `json:"plannedStrategy,omitempty"`
+	// PlannerReason justifies the planner's selection (non-FO only).
+	PlannerReason string `json:"plannerReason,omitempty"`
 }
 
 // CertainRequest asks CERTAINTY(q) on one database: either inline fact
@@ -81,6 +93,13 @@ type ExplainInfo struct {
 	// spread over the store's shards (absent for inline facts).
 	ShardPlan string `json:"shardPlan,omitempty"`
 	Shards    []int  `json:"shards,omitempty"`
+	// PlanDecision is the planner's recorded strategy selection for
+	// non-FO queries: the graph decider (or naive fallback) chosen, why,
+	// and the relation statistics consulted on the evaluated snapshot.
+	// Absent for FO queries (their plan is the rewriting, reported via
+	// RewritingSize and Quantifiers), under the ForceTreeWalk rollback,
+	// and in batch explains (the decision is per database).
+	PlanDecision *planner.Decision `json:"planDecision,omitempty"`
 	// Stages holds per-stage wall-clock timings in request order.
 	Stages []ExplainStage `json:"stages"`
 	// TraceID joins this explain with the trace recorded for the request

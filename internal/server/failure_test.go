@@ -177,15 +177,18 @@ func TestAdmissionControl429(t *testing.T) {
 
 func TestPerRequestTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Options{RequestTimeout: 5 * time.Millisecond})
-	// A certain query with no rewriting falls back to repair enumeration;
+	// A cyclic query outside the planner's decider shapes (negation-free,
+	// so neither graph pattern applies) falls back to repair enumeration;
 	// 2^20 repairs cannot finish in 5ms, and because every repair
-	// satisfies the query (S is empty) there is no early exit.
+	// satisfies the query (the singleton S-blocks cover block k0 both
+	// ways) there is no early exit.
 	var facts strings.Builder
 	for i := 0; i < 20; i++ {
 		fmt.Fprintf(&facts, "R(k%d | a)\nR(k%d | b)\n", i, i)
 	}
+	facts.WriteString("S(a | k0)\nS(b | k0)\n")
 	resp := postJSON(t, ts.URL+"/v1/certain", CertainRequest{
-		Query: "R(x | y), !S(y | x)",
+		Query: "R(x | y), S(y | x)",
 		Facts: facts.String(),
 	})
 	if resp.StatusCode != http.StatusServiceUnavailable {

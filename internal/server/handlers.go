@@ -103,6 +103,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 				return nil, fmt.Errorf("sql translation: %w", err)
 			}
 			resp.SQL = sql
+		} else {
+			// Non-FO queries are not condemned to repair enumeration: the
+			// planner may have a polynomial graph decider for the shape.
+			// Strategy (not PlanStrategy) so the ForceTreeWalk rollback is
+			// reflected — the response names what this server will execute.
+			resp.PlannedStrategy = s.eng.Strategy(p)
+			resp.PlannerReason = p.Plan().Reason
 		}
 		return resp, nil
 	})
@@ -196,6 +203,10 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 				info.ResultCache = cacheOutcome(cached)
 				info.ShardPlan = shardPlan
 				info.Shards = shards
+				// Non-FO decisions are recorded against the union view —
+				// the snapshot certainSharded evaluates multi-atom (hence
+				// every planner-pattern) queries on.
+				s.attachPlanDecision(info, p, view.Union())
 				resp.Explain = info
 			}
 			return resp, nil
@@ -256,6 +267,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Explain {
 			resp.Explain = explainFor(p, strategy, cacheOutcome(planHit), clock, tr)
+			s.attachPlanDecision(resp.Explain, p, d)
 		}
 		return resp, nil
 	})
@@ -283,6 +295,17 @@ func explainFor(p *core.Prepared, strategy, planCache string, clock *stageClock,
 		info.Stages = []ExplainStage{}
 	}
 	return info
+}
+
+// attachPlanDecision adds the planner's recorded decision for the
+// evaluated snapshot to a non-FO explain. FO queries carry their plan in
+// the rewriting fields, and under ForceTreeWalk the decision would name
+// a decider that was deliberately not run, so both skip it.
+func (s *Server) attachPlanDecision(info *ExplainInfo, p *core.Prepared, d *db.Database) {
+	if p.InFO() || s.eng.Options().ForceTreeWalk {
+		return
+	}
+	info.PlanDecision = p.Decision(d)
 }
 
 // handleBatch answers POST /v1/batch.

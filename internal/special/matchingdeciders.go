@@ -2,12 +2,20 @@ package special
 
 import (
 	"fmt"
-	"sort"
 
 	"cqa/internal/db"
-	"cqa/internal/graphx"
 	"cqa/internal/matching"
+	"cqa/internal/planner"
+	"cqa/internal/schema"
 )
+
+// q1Plan is the planner's plan for q1 = {R(x|y), ¬S(y|x)}: the matching
+// class, whose decider runs on interned ids. Built once — Plans are
+// immutable and safe for concurrent use.
+var q1Plan = planner.New(schema.NewQuery(
+	schema.Pos(schema.NewAtom("R", 1, schema.Var("x"), schema.Var("y"))),
+	schema.Neg(schema.NewAtom("S", 1, schema.Var("y"), schema.Var("x"))),
+), false)
 
 // Q1Certain decides CERTAINTY(q1) for q1 = {R(x|y), ¬S(y|x)} on an
 // arbitrary database in polynomial time, via bipartite matching. The
@@ -23,42 +31,17 @@ import (
 // negation.
 //
 // This generalizes Example 1.1 from the "every fact is mutual" setting to
-// arbitrary databases.
+// arbitrary databases. The algorithm itself lives in internal/planner,
+// which further generalizes the shape to arbitrary relation names and
+// variables and runs it on interned int32 ids — the database's facts are
+// distinct, so the interned rows need no per-call dedup set at all
+// (the old string-keyed implementation allocated one per block).
 func Q1Certain(d *db.Database) bool {
-	rRel := d.Relation("R")
-	if rRel == nil || rRel.Size() == 0 {
-		// No R-facts: q1 is false in the unique (empty-R) repair.
-		return false
+	certain, ok := q1Plan.Certain(d.Interned())
+	if !ok {
+		panic("special: q1 plan lost its matching class") // unreachable
 	}
-	girls := rRel.ColumnValues(0) // R-block keys
-	boySet := map[string]bool{}
-	adj := make(map[string][]string)
-	for _, f := range d.Facts("R") {
-		a, b := f.Args[0], f.Args[1]
-		if d.Has(db.F("S", b, a)) {
-			adj[a] = append(adj[a], b)
-			boySet[b] = true
-		}
-	}
-	boys := make([]string, 0, len(boySet))
-	for b := range boySet {
-		boys = append(boys, b)
-	}
-	sort.Strings(boys)
-	bg := graphx.NewBipartite(girls, boys)
-	for a, bs := range adj {
-		seen := map[string]bool{}
-		for _, b := range bs {
-			if !seen[b] {
-				seen[b] = true
-				if err := bg.AddEdge(a, b); err != nil {
-					panic(err) // unreachable: endpoints declared
-				}
-			}
-		}
-	}
-	saturating := len(matching.MaxMatching(bg)) == len(girls)
-	return !saturating
+	return certain
 }
 
 // QHallCertain decides CERTAINTY(q_Hall) for
