@@ -5,9 +5,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench bench-smoke planner-smoke experiments serve-smoke store-smoke shard-smoke obs-smoke chaos bench-shard clean
+.PHONY: check build vet test race fuzz bench bench-smoke planner-smoke experiments serve-smoke store-smoke shard-smoke obs-smoke watch-smoke chaos bench-shard clean
 
-check: vet test race fuzz bench bench-smoke planner-smoke shard-smoke obs-smoke
+check: vet test race fuzz bench bench-smoke planner-smoke shard-smoke obs-smoke watch-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzWALStream -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzCompiledEval -fuzztime $(FUZZTIME) ./internal/fo
+	$(GO) test -run '^$$' -fuzz FuzzWatchProtocol -fuzztime $(FUZZTIME) ./internal/server
 
 # One iteration per benchmark: compiles and exercises every benchmark
 # body without waiting for stable timings.
@@ -109,6 +110,29 @@ store-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	rm -rf /tmp/cqad-store-smoke /tmp/cqad-store-smoke.addr /tmp/cqad-store-smoke-data; \
 	echo "store-smoke OK"
+
+# Incremental-maintenance smoke: boot a cqad with a fast /v1/watch
+# heartbeat and run the cqaload mutable workload with watch
+# subscriptions — every served read is validated against the
+# contemporaneous shadow AND every pushed flip frame must match ground
+# truth at its version with no missed or fabricated flips
+# (docs/DELTA.md). Exit 1 on any mismatch.
+watch-smoke:
+	$(GO) build -o /tmp/cqad-watch-smoke ./cmd/cqad
+	$(GO) build -o /tmp/cqaload-watch-smoke ./cmd/cqaload
+	@rm -f /tmp/cqad-watch-smoke.addr; \
+	/tmp/cqad-watch-smoke -addr 127.0.0.1:0 -addr-file /tmp/cqad-watch-smoke.addr \
+	    -watch-heartbeat 300ms & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s /tmp/cqad-watch-smoke.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/cqad-watch-smoke.addr) || { kill $$pid; exit 1; }; \
+	echo "cqad on $$addr (watch-heartbeat 300ms)"; \
+	/tmp/cqaload-watch-smoke -url "http://$$addr" -mutate -watch -validate \
+	    -writes 120 -readers 2 -db watchsmoke \
+	    || { kill -9 $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	rm -f /tmp/cqad-watch-smoke /tmp/cqaload-watch-smoke /tmp/cqad-watch-smoke.addr; \
+	echo "watch-smoke OK"
 
 # Sharded-topology smoke: boot a router over four real cqad shard
 # processes, SIGKILL one shard, verify explicit degraded serving

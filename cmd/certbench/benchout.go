@@ -34,6 +34,9 @@ type benchEntry struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Reevals counts registration re-evaluations across the E17 delta
+	// workload (zero and omitted for the per-op experiments).
+	Reevals int64 `json:"reevals,omitempty"`
 }
 
 // benchQueries are the E-series rewriting workloads measured by
@@ -120,6 +123,9 @@ func runBenchOut(path string, quick bool) error {
 	fmt.Printf("  largest instance: compiled %d ns/op vs tree-walk %d ns/op (%.1fx)\n",
 		last.compiled, last.tree, float64(last.tree)/float64(max64(last.compiled, 1)))
 	if err := runBenchCyclic(&entries, quick); err != nil {
+		return err
+	}
+	if err := runBenchDelta(&entries, quick); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(entries, "", "  ")

@@ -1,0 +1,162 @@
+// E17: incremental certain-answer maintenance. A fleet of ground-key
+// registrations watches one relation while a write stream toggles
+// random blocks; the delta manager must re-evaluate only the
+// registrations whose support contains a dirty block, where the naive
+// baseline re-checks every registration on every change. The BENCH
+// record carries the re-evaluation counts, and the run fails unless
+// delta re-evaluates at least 10× fewer registrations than re-check-all
+// at the largest instance — the `make bench-smoke` gate for the delta
+// subsystem.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/delta"
+	"cqa/internal/parse"
+	"cqa/internal/store"
+)
+
+// deltaBenchSizes is the registration count per instance; blocks scale
+// with it (one watched block per registration).
+func deltaBenchSizes(quick bool) []int {
+	if quick {
+		return []int{8, 32}
+	}
+	return []int{32, 128, 512}
+}
+
+func deltaBenchWrites(quick bool) int {
+	if quick {
+		return 80
+	}
+	return 200
+}
+
+func runBenchDelta(entries *[]benchEntry, quick bool) error {
+	writes := deltaBenchWrites(quick)
+	var lastDelta, lastNaive int64
+	for _, regs := range deltaBenchSizes(quick) {
+		seed := db.New()
+		seed.MustDeclare("R", 2, 1)
+		for i := 0; i < regs; i++ {
+			seed.MustInsert(db.F("R", fmt.Sprintf("k%d", i), "v0"))
+		}
+		// An unwatched block pre-seeds "v1" into the dictionary, so the
+		// first toggle below is not an unknown value forcing a one-off
+		// re-evaluation storm across every registration.
+		seed.MustInsert(db.F("R", "kseed", "v1"))
+
+		name := fmt.Sprintf("bench-delta-%d", regs)
+		st := store.NewMem(name, seed)
+		mgr := delta.New(delta.Options{})
+		st.SetOnApply(func(c store.Change) {
+			snap := st.Snapshot()
+			mgr.Apply(name, c, func() *db.Database { return snap.DB })
+		})
+
+		preps := make([]*core.Prepared, regs)
+		watches := make([]*delta.Watch, regs)
+		snap := st.Snapshot()
+		for i := 0; i < regs; i++ {
+			q := parse.MustQuery(fmt.Sprintf("R('k%d' | 'v0')", i))
+			p, err := core.Prepare(q)
+			if err != nil {
+				return fmt.Errorf("bench-out: prepare reg %d: %v", i, err)
+			}
+			preps[i] = p
+			w, _, err := mgr.Register(name, q.Signature(), p, delta.Snapshot{DB: snap.DB, Version: snap.Version})
+			if err != nil {
+				return fmt.Errorf("bench-out: register reg %d: %v", i, err)
+			}
+			watches[i] = w
+		}
+
+		// The write stream: toggle R(k_j | v1) for random j. Every write
+		// is effective (one dirty block) and flips exactly registration
+		// j's verdict between {v0} (true) and {v0,v1} (false).
+		rng := rand.New(rand.NewSource(int64(9000 + regs)))
+		present := make([]bool, regs)
+		t0 := time.Now()
+		for wi := 0; wi < writes; wi++ {
+			j := rng.Intn(regs)
+			f := db.F("R", fmt.Sprintf("k%d", j), "v1")
+			var err error
+			if present[j] {
+				_, err = st.Delete(f)
+			} else {
+				_, err = st.Insert(f)
+			}
+			if err != nil {
+				return fmt.Errorf("bench-out: write %d: %v", wi, err)
+			}
+			present[j] = !present[j]
+		}
+		mgr.Quiesce(name)
+		elapsed := time.Since(t0)
+
+		// Self-validation: every maintained verdict equals a fresh
+		// evaluation on the final snapshot.
+		final := st.Snapshot().DB
+		for i, w := range watches {
+			if w.State().Verdict != preps[i].Certain(final) {
+				return fmt.Errorf("bench-out: delta verdict for registration %d diverged from fresh evaluation", i)
+			}
+		}
+
+		skipped, reevaled, flipped := mgr.Counters()
+		mgr.Close()
+		deltaReevals := int64(reevaled + flipped)
+		naiveReevals := int64(writes) * int64(regs)
+		if int64(skipped)+deltaReevals != naiveReevals {
+			return fmt.Errorf("bench-out: delta decisions %d skipped + %d re-evaluated do not cover %d changes × %d registrations",
+				skipped, deltaReevals, writes, regs)
+		}
+
+		// The naive baseline: re-check every registration once per
+		// change, timed as one sweep over the fleet.
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range preps {
+					p.Certain(final)
+				}
+			}
+		})
+
+		workload := fmt.Sprintf("%d ground-key registrations", regs)
+		for _, e := range []benchEntry{
+			{
+				Experiment: "E17", Query: workload, Blocks: regs + 1, Facts: final.Size(),
+				Engine:  "delta-maintain",
+				NsPerOp: elapsed.Nanoseconds() / int64(writes),
+				Reevals: deltaReevals,
+			},
+			{
+				Experiment: "E17", Query: workload, Blocks: regs + 1, Facts: final.Size(),
+				Engine:      "recheck-all",
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Reevals:     naiveReevals,
+			},
+		} {
+			*entries = append(*entries, e)
+			fmt.Printf("  %-45s writes=%-4d %-17s %10d ns/change %8d reeval(s)\n",
+				workload, writes, e.Engine, e.NsPerOp, e.Reevals)
+		}
+		lastDelta, lastNaive = deltaReevals, naiveReevals
+	}
+	if lastNaive < 10*lastDelta {
+		return fmt.Errorf("bench-out: delta re-evaluated %d registrations vs %d for re-check-all on the largest instance — below the 10x gate",
+			lastDelta, lastNaive)
+	}
+	fmt.Printf("  largest delta instance: %d re-evaluations vs %d naive (%.1fx fewer)\n",
+		lastDelta, lastNaive, float64(lastNaive)/float64(max64(lastDelta, 1)))
+	return nil
+}

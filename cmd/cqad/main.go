@@ -114,6 +114,7 @@ type config struct {
 	traceBuffer  int
 	slowQuery    time.Duration
 	shards       int
+	watchHB      time.Duration
 	route        string
 	replicas     string
 	follow       string
@@ -143,6 +144,7 @@ func parseFlags(args []string, errw *os.File) (config, error) {
 	fs.IntVar(&c.traceBuffer, "trace-buffer", 0, "finished traces retained for GET /debug/traces (0 = 256)")
 	fs.DurationVar(&c.slowQuery, "slow-query", 0, "log any trace slower than this duration (0 = off)")
 	fs.IntVar(&c.shards, "shards", 1, "shard count for databases this daemon creates (block-hash partitioning)")
+	fs.DurationVar(&c.watchHB, "watch-heartbeat", 0, "/v1/watch heartbeat cadence (0 = 3s)")
 	fs.StringVar(&c.route, "route", "", "comma-separated shard server URLs: serve as the scatter-gather router over them")
 	fs.StringVar(&c.replicas, "route-replicas", "", "comma-separated follower URLs, one per -route shard (empty slots allowed); reads prefer them")
 	fs.StringVar(&c.follow, "follow", "", "primary URL: serve read-only, replicating its databases over WAL streams")
@@ -235,6 +237,7 @@ func run(cfg config) error {
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		MaxBodyBytes:   cfg.maxBody,
+		WatchHeartbeat: cfg.watchHB,
 		EnablePprof:    cfg.pprof,
 		Metrics:        reg,
 		Tracer:         tracer,

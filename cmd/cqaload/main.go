@@ -10,7 +10,7 @@
 //	        [-seed 1] [-queries 6] [-dbs 4] [-batch 4]
 //	        [-mix classify=1,certain=8,batch=1] [-validate]
 //	cqaload -url ... -mutate [-writes 40] [-readers 4] [-db mutable]
-//	        [-seed 1] [-validate]
+//	        [-seed 1] [-validate] [-watch]
 //	cqaload -url ... -sharded [-read-url ...] [-keys 64] [-writes 100]
 //	        [-readers 4] [-reads 100] [-join-every 4] [-db sharded]
 //	        [-seed 1] [-validate]
@@ -24,7 +24,12 @@
 // and drives it with a single writer (insert/delete batches) and
 // -readers concurrent readers on named-database /v1/certain; with
 // -validate every served answer is cross-checked against core.Certain on
-// the contemporaneous snapshot (the version each response names).
+// the contemporaneous snapshot (the version each response names). Adding
+// -watch also subscribes to /v1/watch for a fixed query set before the
+// writer starts and cross-checks every pushed flip frame against the
+// same contemporaneous shadows: a flip's From must match the verdict the
+// stream last settled on, its To must match ground truth at the flip's
+// version, and no intermediate version may disagree (a missed flip).
 //
 // With -sharded, cqaload runs the phased write → quiesce → read workload
 // for sharded topologies: writes go to -url (the router or primary),
@@ -77,6 +82,7 @@ func main() {
 	reads := flag.Int("reads", 100, "reads per reader (with -sharded)")
 	joinEvery := flag.Int("join-every", 4, "every n-th -sharded read is the confined two-atom join (0 = never)")
 	obsMode := flag.Bool("obs", false, "assert trace/metric coherence (traced explain queries + /debug/traces + /metrics lint) instead of generating load")
+	watch := flag.Bool("watch", false, "with -mutate: subscribe to /v1/watch and cross-check every pushed flip against contemporaneous shadows")
 	flag.Parse()
 
 	modes := 0
@@ -87,6 +93,10 @@ func main() {
 	}
 	if modes > 1 {
 		fmt.Fprintln(os.Stderr, "cqaload: -sharded, -mutate, and -obs are mutually exclusive")
+		os.Exit(2)
+	}
+	if *watch && !*mutate {
+		fmt.Fprintln(os.Stderr, "cqaload: -watch requires -mutate")
 		os.Exit(2)
 	}
 
@@ -104,7 +114,7 @@ func main() {
 		if name == "" {
 			name = "mutable"
 		}
-		runMutable(ctx, *url, name, *writes, *readers, *seed, *validate)
+		runMutable(ctx, *url, name, *writes, *readers, *seed, *validate, *watch)
 		return
 	}
 	if *obsMode {
@@ -218,8 +228,9 @@ func runSharded(ctx context.Context, url string, opt loadgen.ShardedOptions, val
 	}
 }
 
-// runMutable is the -mutate mode: read/write mix over one named store.
-func runMutable(ctx context.Context, url, dbName string, writes, readers int, seed int64, validate bool) {
+// runMutable is the -mutate mode: read/write mix over one named store,
+// optionally with /v1/watch subscriptions collected alongside.
+func runMutable(ctx context.Context, url, dbName string, writes, readers int, seed int64, validate, watch bool) {
 	fmt.Printf("mutable workload: database %q, %d writes, %d readers (seed %d); driving %s\n",
 		dbName, writes, readers, seed, url)
 	rep, err := loadgen.RunMutable(ctx, url, loadgen.MutableOptions{
@@ -227,6 +238,7 @@ func runMutable(ctx context.Context, url, dbName string, writes, readers int, se
 		Writes:   writes,
 		Readers:  readers,
 		Seed:     seed,
+		Watch:    watch,
 	})
 	if rep != nil {
 		fmt.Println(rep)
@@ -242,6 +254,22 @@ func runMutable(ctx context.Context, url, dbName string, writes, readers int, se
 			os.Exit(1)
 		}
 		fmt.Printf("validated %d served answer(s) against core.Certain on contemporaneous snapshots: all agree\n", checked)
+	}
+	if watch {
+		checked, err := loadgen.ValidateWatch(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqaload: WATCH VALIDATION FAILED:", err)
+			os.Exit(1)
+		}
+		flips := 0
+		for _, evs := range rep.Watch.Events {
+			for _, ev := range evs {
+				if ev.Type == "flip" {
+					flips++
+				}
+			}
+		}
+		fmt.Printf("validated %d watch frame(s) (%d flip(s)) against contemporaneous shadows: zero flip mismatches\n", checked, flips)
 	}
 	if rep.Failures > 0 {
 		os.Exit(1)

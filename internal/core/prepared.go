@@ -115,6 +115,36 @@ func (p *Prepared) bound(d *db.Database) *fo.Bound {
 	return b
 }
 
+// QueryRels returns the distinct relation names the query mentions
+// (positive and negated atoms), in first-occurrence order.
+func (p *Prepared) QueryRels() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range p.cls.Query.Atoms() {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			out = append(out, a.Rel)
+		}
+	}
+	return out
+}
+
+// CertainSupport answers CERTAINTY(q) on d while recording the support
+// set of the evaluation (the blocks every membership probe touched; see
+// fo.Support). supported is false when the query has no compiled
+// rewriting — non-FO queries and compile fallbacks — in which case the
+// verdict is computed by Certain's normal dispatch and sup is nil: the
+// delta layer then degrades to relation-level re-evaluation.
+func (p *Prepared) CertainSupport(d *db.Database) (verdict bool, sup *fo.Support, supported bool) {
+	if p.InFO() {
+		if b := p.bound(d); b != nil {
+			verdict, sup = b.EvalSupport()
+			return verdict, sup, true
+		}
+	}
+	return p.Certain(d), nil, false
+}
+
 // Plan returns the planner's strategy selection for the query.
 func (p *Prepared) Plan() *planner.Plan { return p.plan }
 

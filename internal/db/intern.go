@@ -3,6 +3,7 @@ package db
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the dictionary-encoded ("interned") read-only view
@@ -79,6 +80,12 @@ type InternedRelation struct {
 	// evaluation strategy without touching the mutable database.
 	blocks   int
 	maxBlock int
+
+	// blockIdx lazily groups rows by key prefix for the delta layer's
+	// dirty-block diffs. Built at most once per view; atomic so racing
+	// readers may each build identical indexes with the last published
+	// winning.
+	blockIdx atomic.Pointer[map[uint64][]int32]
 }
 
 // Rows returns the number of stored tuples.
@@ -104,6 +111,73 @@ func (r *InternedRelation) Row(i int) []int32 {
 // Posting returns the sorted distinct ids of column col. The caller must
 // not mutate the result.
 func (r *InternedRelation) Posting(col int) []int32 { return r.postings[col] }
+
+// PostingHas reports whether id occurs in column col of some stored
+// tuple (binary search over the sorted posting list).
+func (r *InternedRelation) PostingHas(col int, id int32) bool {
+	p := r.postings[col]
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= id })
+	return i < len(p) && p[i] == id
+}
+
+// hashKey64 is FNV-1a/64 over the int32 words of a key prefix; it keys
+// the lazy block index.
+func hashKey64(key []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range key {
+		u := uint32(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(u >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// BlockRows returns the indexes of every row whose key prefix equals
+// key (i.e. the rows of one block), in build order. The first call
+// builds a block index over the whole relation; later calls are O(block
+// size). The caller must not mutate the result.
+func (r *InternedRelation) BlockRows(key []int32) []int32 {
+	if len(key) != r.Key || r.rows == 0 {
+		return nil
+	}
+	idx := r.blockIdx.Load()
+	if idx == nil {
+		m := make(map[uint64][]int32, r.blocks)
+		for i := 0; i < r.rows; i++ {
+			h := hashKey64(r.Row(i)[:r.Key])
+			m[h] = append(m[h], int32(i))
+		}
+		idx = &m
+		r.blockIdx.Store(idx)
+	}
+	rows := (*idx)[hashKey64(key)]
+	// Filter hash collisions by comparing the actual key prefix.
+	out := rows
+	filtered := false
+	for n, i := range rows {
+		row := r.Row(int(i))
+		match := true
+		for c, v := range key {
+			if row[c] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			if filtered {
+				out = append(out, i)
+			}
+			continue
+		}
+		if !filtered {
+			out = append([]int32(nil), rows[:n]...)
+			filtered = true
+		}
+	}
+	return out
+}
 
 // hashTuple is FNV-1a over the int32 words of a tuple.
 func hashTuple(args []int32) uint32 {
@@ -303,6 +377,13 @@ func (ix *Interned) Relation(name string) *InternedRelation { return ix.rels[nam
 // DomainIDs returns the sorted ids of the database's active domain. The
 // caller must not mutate the result.
 func (ix *Interned) DomainIDs() []int32 { return ix.domain }
+
+// SameDict reports whether two views share one append-only dictionary
+// (the InternNext chain), which makes their ids directly comparable: a
+// value known to both has the same id in both. The delta layer relies
+// on this to compare recorded support sets against later versions'
+// dirty blocks without re-resolving strings.
+func (ix *Interned) SameDict(o *Interned) bool { return o != nil && ix.dc == o.dc }
 
 // Interned returns the memoized interned view of the database, building
 // it on first use. The result is invalidated by any write; racing readers

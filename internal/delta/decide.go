@@ -1,0 +1,215 @@
+package delta
+
+import (
+	"cqa/internal/db"
+	"cqa/internal/fo"
+	"cqa/internal/store"
+)
+
+// changeCtx is the per-change decision context shared by every
+// registration of one database: resolved dirty-block ids and hashes,
+// the interned views of the previous and current snapshots, and the
+// memoized per-(block, column) candidate-set checks. Everything is
+// computed lazily — a change against a database whose registrations
+// all skip on the relation test never interns anything.
+type changeCtx struct {
+	c    store.Change
+	prev *db.Database
+	cur  *db.Database
+
+	inited  bool
+	chainOK bool // prev and cur share one dictionary chain
+	prevIx  *db.Interned
+	curIx   *db.Interned
+
+	keys   [][]int32 // per dirty block: resolved key ids (nil = unresolvable)
+	maxID  []int32   // per dirty block: max key id
+	hashes []uint64  // per dirty block: fo block hash
+
+	candMemo map[candKey]bool
+}
+
+type candKey struct {
+	block int
+	col   int
+}
+
+// init resolves the interned views and dirty-block ids once. The
+// worker processes changes strictly in order, so chaining cur's
+// dictionary off prev's here (when the store's own seeding raced past
+// it) keeps ids stable for every later change and support set.
+func (cc *changeCtx) init() {
+	if cc.inited {
+		return
+	}
+	cc.inited = true
+	if cc.prev == nil {
+		return
+	}
+	cc.prevIx = cc.prev.Interned()
+	cc.curIx = cc.cur.InternedIfBuilt()
+	if cc.curIx == nil {
+		ix := db.InternNext(cc.prevIx, cc.cur)
+		cc.cur.SeedInterned(ix)
+		cc.curIx = ix
+	}
+	cc.chainOK = cc.prevIx.SameDict(cc.curIx)
+	if !cc.chainOK {
+		return
+	}
+	cc.keys = make([][]int32, len(cc.c.Blocks))
+	cc.maxID = make([]int32, len(cc.c.Blocks))
+	cc.hashes = make([]uint64, len(cc.c.Blocks))
+	for i, b := range cc.c.Blocks {
+		ids := make([]int32, len(b.Key))
+		max := int32(-1)
+		ok := true
+		for j, v := range b.Key {
+			id, found := cc.curIx.ID(v)
+			if !found {
+				ok = false
+				break
+			}
+			ids[j] = id
+			if id > max {
+				max = id
+			}
+		}
+		if !ok {
+			cc.keys[i] = nil
+			continue
+		}
+		cc.keys[i] = ids
+		cc.maxID[i] = max
+		cc.hashes[i] = fo.BlockHashIDs(fo.BlockSeed(b.Rel), ids)
+	}
+}
+
+// decide reports whether w must be re-evaluated for this change, plus
+// the dirty blocks of w's relations (the flip event's trigger blocks).
+// A false result is a proof that w's verdict is unchanged — see the
+// package comment for the replay argument each rule discharges.
+func (cc *changeCtx) decide(w *Watch) (reeval bool, triggers []store.BlockRef) {
+	touched := false
+	for _, r := range cc.c.Rels {
+		if w.rels[r] {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		// Rule 0: no relation the query mentions changed.
+		return false, nil
+	}
+	relBlocks := make(map[string]bool)
+	for _, b := range cc.c.Blocks {
+		if w.rels[b.Rel] {
+			triggers = append(triggers, b)
+			relBlocks[b.Rel] = true
+		}
+	}
+	if w.sup == nil {
+		// Relation-level mode: no support recorded (non-FO query,
+		// compile fallback, or domain-quantifying program).
+		return true, triggers
+	}
+	cc.init()
+	if cc.prev == nil || !cc.chainOK || !w.sup.Ix.SameDict(cc.curIx) {
+		// The dictionary chain broke somewhere between the recorded run
+		// and this version; recorded ids are not comparable.
+		return true, triggers
+	}
+	for _, r := range w.sup.AbsentRels {
+		if relBlocks[r] {
+			// The recorded run saw no relation at all here; any write to
+			// it changes probe answers from the constant false.
+			return true, triggers
+		}
+	}
+	for _, r := range cc.c.Rels {
+		if w.rels[r] && !relBlocks[r] {
+			// A watched relation is reported touched without block
+			// detail; nothing to intersect against.
+			return true, triggers
+		}
+	}
+	supN := w.sup.Ix.NumIDs()
+	for i, b := range cc.c.Blocks {
+		if !w.rels[b.Rel] {
+			continue
+		}
+		ids := cc.keys[i]
+		if ids == nil || cc.maxID[i] >= supN {
+			// Rule 1: the block carries a value the recorded view did
+			// not know. Unresolved constants got synthetic ids in the
+			// recorded run, so hashes are not comparable — and a fresh
+			// value can extend candidate lists.
+			return true, triggers
+		}
+		if w.sup.Holds(cc.hashes[i]) {
+			// Rule 3: the recorded run probed this block; its answer may
+			// have changed.
+			return true, triggers
+		}
+		for _, col := range w.candCols[b.Rel] {
+			if cc.candChanged(i, b.Rel, ids, col) {
+				// Rule 2: the block's delta changes the value set of a
+				// candidate-source column.
+				return true, triggers
+			}
+		}
+	}
+	return false, nil
+}
+
+// candChanged reports whether dirty block i's row delta changes the
+// distinct-value set of column col of rel — i.e. adds a value absent
+// from the previous posting list or retires a value absent from the
+// current one. Memoized per (block, column) across registrations.
+func (cc *changeCtx) candChanged(i int, rel string, key []int32, col int) bool {
+	k := candKey{block: i, col: col}
+	if cc.candMemo == nil {
+		cc.candMemo = make(map[candKey]bool)
+	}
+	if v, ok := cc.candMemo[k]; ok {
+		return v
+	}
+	changed := cc.candChangedSlow(rel, key, col)
+	cc.candMemo[k] = changed
+	return changed
+}
+
+func (cc *changeCtx) candChangedSlow(rel string, key []int32, col int) bool {
+	prevRel := cc.prevIx.Relation(rel)
+	curRel := cc.curIx.Relation(rel)
+	prevVals := blockColVals(prevRel, key, col)
+	curVals := blockColVals(curRel, key, col)
+	for v := range curVals {
+		if !prevVals[v] && (prevRel == nil || !prevRel.PostingHas(col, v)) {
+			return true // value entered the column's distinct set
+		}
+	}
+	for v := range prevVals {
+		if !curVals[v] && (curRel == nil || !curRel.PostingHas(col, v)) {
+			return true // value left the column's distinct set
+		}
+	}
+	return false
+}
+
+// blockColVals collects the distinct values of column col within one
+// block of r.
+func blockColVals(r *db.InternedRelation, key []int32, col int) map[int32]bool {
+	if r == nil || col >= r.Arity {
+		return nil
+	}
+	rows := r.BlockRows(key)
+	if len(rows) == 0 {
+		return nil
+	}
+	vals := make(map[int32]bool, len(rows))
+	for _, row := range rows {
+		vals[r.Row(int(row))[col]] = true
+	}
+	return vals
+}

@@ -1,0 +1,215 @@
+package delta
+
+import (
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/parse"
+	"cqa/internal/store"
+)
+
+// harness wires one memory store into a Manager the way the server
+// does: OnApply captures the (change, snapshot) pair synchronously.
+type harness struct {
+	t   *testing.T
+	st  *store.Store
+	mgr *Manager
+}
+
+func newHarness(t *testing.T, seed string, opt Options) *harness {
+	t.Helper()
+	base, err := parse.Database(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, st: store.NewMem("test", base), mgr: New(opt)}
+	h.st.SetOnApply(func(c store.Change) {
+		snap := h.st.Snapshot()
+		h.mgr.Apply("test", c, func() *db.Database { return snap.DB })
+	})
+	t.Cleanup(h.mgr.Close)
+	return h
+}
+
+func (h *harness) watch(query string) (*Watch, State) {
+	h.t.Helper()
+	q, err := parse.Query(query)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	prep, err := core.Prepare(q)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	snap := h.st.Snapshot()
+	w, state, err := h.mgr.Register("test", query, prep, Snapshot{DB: snap.DB, Version: snap.Version})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return w, state
+}
+
+func (h *harness) insert(rel, key, val string) store.Change {
+	h.t.Helper()
+	c, err := h.st.Insert(db.F(rel, key, val))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+func (h *harness) delete(rel, key, val string) store.Change {
+	h.t.Helper()
+	c, err := h.st.Delete(db.F(rel, key, val))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+// TestDeltaSkipFlip is the core behavior check: irrelevant relations
+// and untouched blocks skip, support hits re-evaluate, and verdict
+// flips publish exact events.
+func TestDeltaSkipFlip(t *testing.T) {
+	h := newHarness(t, "R(k0 | v0)\nR(k9 | v0)\nR(k9 | v1)\nR(k5 | v1)\nT(t0 | u0)\n", Options{})
+	w, state := h.watch("R('k0' | 'v0')")
+	if !state.Verdict {
+		t.Fatalf("initial verdict false, want true (block k0 is {v0})")
+	}
+
+	// A write to an unmentioned relation must skip.
+	h.insert("T", "t1", "u1")
+	h.mgr.Quiesce("test")
+	skipped, reevaled, flipped := h.mgr.Counters()
+	if skipped != 1 || reevaled != 0 || flipped != 0 {
+		t.Fatalf("after T write: counters=(%d,%d,%d), want (1,0,0)", skipped, reevaled, flipped)
+	}
+
+	// Deleting R(k9|v1) dirties only block k9: outside the support, and
+	// its column values (k9, v1) survive elsewhere in R, so candidate
+	// sets are unchanged — the registration must skip.
+	h.delete("R", "k9", "v1")
+	h.mgr.Quiesce("test")
+	skipped, reevaled, flipped = h.mgr.Counters()
+	if skipped != 2 || reevaled != 0 || flipped != 0 {
+		t.Fatalf("after k9 delete: counters=(%d,%d,%d), want (2,0,0)", skipped, reevaled, flipped)
+	}
+	select {
+	case ev := <-w.Events():
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+
+	// Writing into block k0 hits the support and flips the verdict.
+	c := h.insert("R", "k0", "v1")
+	h.mgr.Quiesce("test")
+	_, _, flipped = h.mgr.Counters()
+	if flipped != 1 {
+		t.Fatalf("flipped=%d, want 1", flipped)
+	}
+	ev := <-w.Events()
+	if ev.Version != c.Version || !ev.From || ev.To || ev.Resync {
+		t.Fatalf("flip event %+v, want version=%d from=true to=false", ev, c.Version)
+	}
+	if len(ev.Blocks) != 1 || ev.Blocks[0] != "R(k0)" {
+		t.Fatalf("trigger blocks %v, want [R(k0)]", ev.Blocks)
+	}
+	if st := w.State(); st.Version != c.Version || st.Verdict {
+		t.Fatalf("state %+v, want version=%d verdict=false", st, c.Version)
+	}
+}
+
+// TestDeltaNewValueForcesReeval: a dirty block carrying a value the
+// recorded view never interned must re-evaluate even though its hash
+// cannot occur in the support (the rule that makes synthetic constant
+// ids safe).
+func TestDeltaNewValueForcesReeval(t *testing.T) {
+	h := newHarness(t, "R(k0 | v0)\n", Options{})
+	w, state := h.watch("R('fresh' | y)")
+	if state.Verdict {
+		t.Fatalf("initial verdict true, want false ('fresh' has no block)")
+	}
+	c := h.insert("R", "fresh", "v0")
+	h.mgr.Quiesce("test")
+	ev := <-w.Events()
+	if ev.Version != c.Version || ev.From || !ev.To {
+		t.Fatalf("flip event %+v, want version=%d false→true", ev, c.Version)
+	}
+}
+
+// TestDeltaNonFOFallback: queries without a compiled rewriting degrade
+// to relation-level skipping but stay exact.
+func TestDeltaNonFOFallback(t *testing.T) {
+	// q1-shaped mutual negation is the paper's canonical non-FO query.
+	h := newHarness(t, "R(a | b)\nS(b | a)\nT(t0 | u0)\n", Options{})
+	w, state := h.watch("R(x | y), !S(y | x)")
+	_ = state
+	h.insert("T", "t9", "u9")
+	h.mgr.Quiesce("test")
+	skipped, _, _ := h.mgr.Counters()
+	if skipped != 1 {
+		t.Fatalf("non-FO watch did not skip an irrelevant write (skipped=%d)", skipped)
+	}
+	h.insert("S", "b", "c")
+	h.mgr.Quiesce("test")
+	skipped2, reevaled, flipped := h.mgr.Counters()
+	if skipped2 != skipped || reevaled+flipped == 0 {
+		t.Fatalf("non-FO watch did not re-evaluate on a mentioned-relation write: (%d,%d,%d)", skipped2, reevaled, flipped)
+	}
+	_ = w
+}
+
+// TestDeltaSlowConsumerResync: a full event queue sheds flips and the
+// next deliverable event arrives as a Resync state event.
+func TestDeltaSlowConsumerResync(t *testing.T) {
+	h := newHarness(t, "R(k0 | v0)\n", Options{WatchBuffer: 1})
+	w, _ := h.watch("R('k0' | 'v0')")
+	// Three flips without draining: true→false, false→true, true→false.
+	h.insert("R", "k0", "v1")
+	h.delete("R", "k0", "v1")
+	h.insert("R", "k0", "v1")
+	h.mgr.Quiesce("test")
+
+	ev1 := <-w.Events()
+	if ev1.Resync || !ev1.From || ev1.To {
+		t.Fatalf("first event %+v, want plain flip true→false", ev1)
+	}
+	// The second flip was shed (queue capacity 1); the third must have
+	// arrived as a resync carrying the latest verdict.
+	h.insert("R", "k0", "v2")
+	h.mgr.Quiesce("test")
+	ev2 := <-w.Events()
+	if !ev2.Resync {
+		t.Fatalf("second delivered event %+v, want Resync after shedding", ev2)
+	}
+	if ev2.To != false {
+		t.Fatalf("resync verdict %v, want false", ev2.To)
+	}
+}
+
+// TestDeltaUnregisterCloses: unregistering closes the event channel.
+func TestDeltaUnregisterCloses(t *testing.T) {
+	h := newHarness(t, "R(k0 | v0)\n", Options{})
+	w, _ := h.watch("R('k0' | y)")
+	h.mgr.Unregister(w)
+	h.mgr.Quiesce("test")
+	if _, ok := <-w.Events(); ok {
+		t.Fatalf("events channel still open after Unregister")
+	}
+}
+
+// TestDeltaDropDB closes every watch.
+func TestDeltaDropDB(t *testing.T) {
+	h := newHarness(t, "R(k0 | v0)\n", Options{})
+	w, _ := h.watch("R('k0' | y)")
+	h.mgr.DropDB("test")
+	if _, ok := <-w.Events(); ok {
+		t.Fatalf("events channel still open after DropDB")
+	}
+	// A dropped database can be watched again (fresh state).
+	_, state := h.watch("R('k0' | y)")
+	if !state.Verdict {
+		t.Fatalf("re-registered watch verdict false, want true")
+	}
+}

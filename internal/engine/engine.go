@@ -20,6 +20,7 @@ import (
 
 	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/delta"
 	"cqa/internal/schema"
 )
 
@@ -72,6 +73,11 @@ type Engine struct {
 	results *resultCache
 	stats   statsCounters
 
+	// delta maintains registered watches incrementally (watch.go);
+	// hooks holds the observability callbacks installed after New.
+	delta *delta.Manager
+	hooks hooksPtr
+
 	// Lifecycle: begin/end bracket every public operation so Close can
 	// refuse new work and wait for in-flight work to drain.
 	closeMu  sync.Mutex
@@ -90,11 +96,13 @@ func New(opt Options) *Engine {
 	if opt.ResultCacheSize <= 0 {
 		opt.ResultCacheSize = DefaultResultCacheSize
 	}
-	return &Engine{
+	e := &Engine{
 		opt:     opt,
 		cache:   newPlanCache(opt.CacheSize),
 		results: newResultCache(opt.ResultCacheSize),
 	}
+	e.delta = newDeltaManager(e)
+	return e
 }
 
 // begin registers one in-flight operation; it fails once Close has run.
@@ -122,6 +130,7 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.closeMu.Unlock()
 	e.inflight.Wait()
+	e.delta.Close()
 }
 
 // Prepare returns the prepared plan for q, consulting the LRU cache
@@ -225,8 +234,13 @@ func (e *Engine) ApplyWrite(dbID string, newVersion uint64, touchedRels []string
 	e.results.applyWrite(dbID, newVersion, touchedRels)
 }
 
-// DropDB forgets every cached answer for dbID.
-func (e *Engine) DropDB(dbID string) { e.results.dropDB(dbID) }
+// DropDB forgets every cached answer for dbID and closes every watch
+// registered against it (the database was deleted or replaced
+// wholesale; watch consumers re-register against the fresh state).
+func (e *Engine) DropDB(dbID string) {
+	e.results.dropDB(dbID)
+	e.delta.DropDB(dbID)
+}
 
 // Item is one independent CERTAINTY check of a batch.
 type Item struct {

@@ -38,6 +38,12 @@ type resultCache struct {
 	// reported per database id.
 	current map[string]uint64
 
+	// onInvalidate is invoked once per invalidated entry with the
+	// touched relation that triggered the invalidation (the first
+	// matching relation of the write's touched set). Invoked outside
+	// the cache lock.
+	onInvalidate func(rel string)
+
 	hits, misses, invalidations uint64
 }
 
@@ -113,24 +119,41 @@ func (c *resultCache) put(sig, dbID string, version uint64, rels map[string]bool
 // version.
 func (c *resultCache) applyWrite(dbID string, newVersion uint64, touched []string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.current[dbID] = newVersion
+	var triggers []string
 	for key, el := range c.byDB[dbID] {
 		e := el.Value.(*resultEntry)
-		stale := false
+		trigger := ""
 		for _, r := range touched {
 			if e.rels[r] {
-				stale = true
+				trigger = r
 				break
 			}
 		}
-		if stale {
+		if trigger != "" {
 			c.removeLocked(key)
 			c.invalidations++
+			if c.onInvalidate != nil {
+				triggers = append(triggers, trigger)
+			}
 		} else {
 			e.version = newVersion
 		}
 	}
+	hook := c.onInvalidate
+	c.mu.Unlock()
+	if hook != nil {
+		for _, r := range triggers {
+			hook(r)
+		}
+	}
+}
+
+// setOnInvalidate installs the per-invalidation callback.
+func (c *resultCache) setOnInvalidate(fn func(rel string)) {
+	c.mu.Lock()
+	c.onInvalidate = fn
+	c.mu.Unlock()
 }
 
 // dropDB forgets every entry and the version watermark of dbID (the

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"cqa/internal/db"
+	"cqa/internal/delta"
+	"cqa/internal/obs"
+	"cqa/internal/schema"
+	"cqa/internal/store"
+)
+
+// WatchHooks are the observability callbacks of the engine's delta
+// layer. The engine is constructed before the serving layer's metrics
+// registry exists, so hooks are installed afterwards with
+// SetWatchHooks; every field is optional.
+type WatchHooks struct {
+	// OnReeval is invoked once per (change, registration) decision with
+	// the outcome (delta.Outcome*).
+	OnReeval func(db, outcome string)
+	// OnFlip is invoked once per published verdict flip.
+	OnFlip func(db string)
+	// OnResultInvalidate is invoked once per result-cache entry
+	// invalidated by a write, with the touched relation that triggered
+	// the invalidation.
+	OnResultInvalidate func(rel string)
+	// Tracer records a "delta" span per processed change.
+	Tracer *obs.Tracer
+}
+
+// SetWatchHooks installs the delta observability hooks. Must be called
+// before traffic; hooks installed later apply to subsequent changes.
+func (e *Engine) SetWatchHooks(h WatchHooks) {
+	e.hooks.Store(&h)
+	e.delta.SetTracer(h.Tracer)
+	e.results.setOnInvalidate(h.OnResultInvalidate)
+}
+
+// newDeltaManager builds the engine's delta manager. The manager's
+// hooks dereference the engine's installable hook set, so the manager
+// can be created in New, before SetWatchHooks runs.
+func newDeltaManager(e *Engine) *delta.Manager {
+	return delta.New(delta.Options{
+		OnReeval: func(db, outcome string) {
+			if h := e.hooks.Load(); h != nil && h.OnReeval != nil {
+				h.OnReeval(db, outcome)
+			}
+		},
+		OnFlip: func(db string) {
+			if h := e.hooks.Load(); h != nil && h.OnFlip != nil {
+				h.OnFlip(db)
+			}
+		},
+	})
+}
+
+// hooksPtr is the engine-side storage for WatchHooks.
+type hooksPtr = atomic.Pointer[WatchHooks]
+
+// RegisterWatch registers q against the named database for incremental
+// certainty maintenance: the returned State is the verdict at the
+// version the watch starts from, and every later verdict flip is
+// delivered on Watch.Events (bounded queue; slow consumers are
+// resynced, never block the delta worker). snap must be a consistent
+// (snapshot, version) capture of dbID, and dbID's changes must be fed
+// via DeltaApply.
+func (e *Engine) RegisterWatch(q schema.Query, dbID string, snap delta.Snapshot) (*delta.Watch, delta.State, error) {
+	if err := e.begin(); err != nil {
+		return nil, delta.State{}, err
+	}
+	defer e.end()
+	p, err := e.prepare(q)
+	if err != nil {
+		return nil, delta.State{}, err
+	}
+	return e.delta.Register(dbID, q.Signature(), p, snap)
+}
+
+// UnregisterWatch removes a watch; its event channel is closed.
+func (e *Engine) UnregisterWatch(w *delta.Watch) { e.delta.Unregister(w) }
+
+// DeltaApply feeds one acknowledged write batch of dbID to the delta
+// layer. dbFn must return the snapshot at exactly c.Version; it is
+// resolved lazily, so an unwatched database pays nothing. Safe to call
+// under the store's writer lock (never blocks on delta work).
+func (e *Engine) DeltaApply(dbID string, c store.Change, dbFn func() *db.Database) {
+	e.delta.Apply(dbID, c, dbFn)
+}
+
+// DeltaCounters reports the cumulative skip/re-evaluate/flip decision
+// counts of the delta layer.
+func (e *Engine) DeltaCounters() (skipped, reevaluated, flipped uint64) {
+	return e.delta.Counters()
+}
+
+// DeltaQuiesce blocks until every change fed for dbID before the call
+// has been processed. Test and benchmark hook.
+func (e *Engine) DeltaQuiesce(dbID string) { e.delta.Quiesce(dbID) }

@@ -99,6 +99,9 @@ func (a *nAtom) eval(m *mach) bool {
 	for i, t := range a.terms {
 		buf[i] = m.get(t)
 	}
+	if m.rec != nil {
+		m.rec.probe(a.rel, buf[:r.Key])
+	}
 	return r.Has(buf)
 }
 
@@ -532,11 +535,14 @@ func (b *Bound) Interned() *db.Interned { return b.ix }
 
 // mach is the per-evaluation state: the slot environment and the atom
 // argument scratch buffer. Machines are pooled by the Bound; one machine
-// is used by exactly one goroutine at a time.
+// is used by exactly one goroutine at a time. rec is nil on the hot
+// path; EvalSupport sets it on a private machine to record the blocks
+// every membership probe touches (see support.go).
 type mach struct {
 	b      *Bound
 	env    []int32
 	argbuf []int32
+	rec    *recorder
 }
 
 func (m *mach) get(t termRef) int32 {

@@ -56,6 +56,11 @@ type MutableOptions struct {
 	Seed int64
 	// Timeout is the per-request client timeout; ≤ 0 selects 30s.
 	Timeout time.Duration
+	// Watch additionally subscribes to /v1/watch for every watchQueries
+	// entry before the writer starts, collects the pushed flip stream,
+	// and waits for the streams to converge on the final version; the
+	// frames land in MutableReport.Watch for ValidateWatch.
+	Watch bool
 }
 
 // MutRead records one read: which query, the version the server answered
@@ -90,6 +95,9 @@ type MutableReport struct {
 	// Shadows maps every acknowledged store version to the database
 	// content at that version, rebuilt client-side from the writes.
 	Shadows map[uint64]*db.Database
+	// Watch is the collected /v1/watch flip streams (nil unless
+	// MutableOptions.Watch was set).
+	Watch *WatchReport
 }
 
 // String renders the report as a short multi-line summary.
@@ -156,6 +164,17 @@ func RunMutable(ctx context.Context, baseURL string, opt MutableOptions) (*Mutab
 		return nil, fmt.Errorf("loadgen: creating %s: %w", opt.Database, err)
 	}
 	rep.Shadows[created.Version] = shadow.Clone()
+
+	// Watch subscriptions open before the first write so every flip the
+	// writer causes lands inside the recorded window.
+	var watches *watchSet
+	if opt.Watch {
+		var err error
+		watches, err = startWatchers(ctx, baseURL, opt.Database)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	hist := metrics.NewHistogram(nil)
 	done := make(chan struct{})
@@ -249,10 +268,48 @@ func RunMutable(ctx context.Context, baseURL string, opt MutableOptions) (*Mutab
 	wg.Wait()
 	rep.Duration = time.Since(start)
 	rep.Latency = hist.Snapshot()
+	if watches != nil {
+		convergeErr := writerErr
+		if convergeErr == nil && ctx.Err() == nil {
+			convergeErr = watchConverge(watches, rep)
+		}
+		rep.Watch = watches.stop()
+		if writerErr == nil && convergeErr != nil {
+			return rep, convergeErr
+		}
+	}
 	if writerErr != nil {
 		return rep, writerErr
 	}
 	return rep, ctx.Err()
+}
+
+// watchConverge computes the final shadow verdict per watched query and
+// waits for every subscription to settle on it at (or past) the final
+// acknowledged version before the streams are torn down.
+func watchConverge(watches *watchSet, rep *MutableReport) error {
+	var finalVersion uint64
+	for v := range rep.Shadows {
+		if v > finalVersion {
+			finalVersion = v
+		}
+	}
+	snap := rep.Shadows[finalVersion]
+	queries := make([]schema.Query, len(watchQueries))
+	final := make(map[int]bool, len(watchQueries))
+	for i, src := range watchQueries {
+		q, err := parse.Query(src)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad watch query %q: %v", src, err)
+		}
+		queries[i] = q
+		want, err := core.Certain(q, snap, core.EngineAuto)
+		if err != nil {
+			return err
+		}
+		final[i] = want
+	}
+	return watches.converge(queries, final, finalVersion)
 }
 
 // ValidateMutable cross-checks every successful read against core.Certain

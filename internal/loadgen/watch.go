@@ -1,0 +1,323 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/parse"
+	"cqa/internal/schema"
+	"cqa/internal/server"
+)
+
+// The watch workload extends the mutable workload: alongside the
+// readers, one /v1/watch subscription per watch query collects every
+// pushed frame while the writer mutates. Validation is post-hoc and
+// exact — every flip must leave the verdict equal to contemporaneous
+// shadow ground truth at the flip's version, with no unreported flip at
+// any intermediate version. Ground-key queries are added to the read
+// mix because they flip often (one block's content decides them).
+var watchQueries = []string{
+	"R('k0' | 'v0')",
+	"R('k1' | x), !S('k1' | x)",
+	"R(x | y)",
+	"R(x | y), !S(y | x)",
+	"T(x | y)",
+}
+
+// WatchReport is the collected watch side of a mutable run.
+type WatchReport struct {
+	// Queries are the watched queries, parsed.
+	Queries []schema.Query
+	// Sources are the watched queries in surface syntax.
+	Sources []string
+	// Events holds, per query, every frame received in order.
+	Events [][]server.WatchEvent
+}
+
+// watcher is one live watch subscription.
+type watcher struct {
+	mu         sync.Mutex
+	events     []server.WatchEvent
+	maxVersion uint64
+	verdict    bool // flip-tracked verdict (state/flip frames only)
+	started    bool
+	err        error
+}
+
+func (ws *watcher) record(ev server.WatchEvent) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.events = append(ws.events, ev)
+	if ev.Version > ws.maxVersion {
+		ws.maxVersion = ev.Version
+	}
+	if ev.Type == server.WatchEventState || ev.Type == server.WatchEventFlip {
+		ws.verdict = ev.Verdict
+		ws.started = true
+	}
+}
+
+func (ws *watcher) state() (maxVersion uint64, verdict, started bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.maxVersion, ws.verdict, ws.started
+}
+
+// watchSet drives one subscription per watch query.
+type watchSet struct {
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	watchers []*watcher
+}
+
+// startWatchers opens the subscriptions and blocks until every stream
+// has delivered its header state (so the writer's flips all land inside
+// the recorded window).
+func startWatchers(ctx context.Context, baseURL, database string) (*watchSet, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	set := &watchSet{cancel: cancel}
+	// Streams are long-lived: no overall request timeout.
+	client := &http.Client{}
+	for range watchQueries {
+		set.watchers = append(set.watchers, &watcher{})
+	}
+	for i, src := range watchQueries {
+		set.wg.Add(1)
+		go func(i int, src string) {
+			defer set.wg.Done()
+			set.watchers[i].run(wctx, client, baseURL, database, src)
+		}(i, src)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, ws := range set.watchers {
+		for {
+			if _, _, started := ws.state(); started {
+				break
+			}
+			ws.mu.Lock()
+			err := ws.err
+			ws.mu.Unlock()
+			if err != nil || time.Now().After(deadline) {
+				cancel()
+				set.wg.Wait()
+				if err == nil {
+					err = fmt.Errorf("timed out")
+				}
+				return nil, fmt.Errorf("loadgen: watch header: %w", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return set, nil
+}
+
+// run keeps one subscription alive, resuming from the last seen
+// version on reconnect (the stream may break if the server restarts;
+// the resumed header arrives as a state frame and validation treats it
+// as a resynchronization).
+func (ws *watcher) run(ctx context.Context, client *http.Client, baseURL, database, query string) {
+	for ctx.Err() == nil {
+		if err := ws.streamOnce(ctx, client, baseURL, database, query); err != nil && ctx.Err() == nil {
+			ws.mu.Lock()
+			ws.err = err
+			ws.mu.Unlock()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+func (ws *watcher) streamOnce(ctx context.Context, client *http.Client, baseURL, database, query string) error {
+	from, _, _ := ws.state()
+	body, _ := json.Marshal(server.WatchRequest{Database: database, Query: query, From: from})
+	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+"/v1/watch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		ev, err := server.ParseWatchEvent(sc.Bytes())
+		if err != nil {
+			return fmt.Errorf("watch frame: %w", err)
+		}
+		ws.record(ev)
+	}
+	return sc.Err()
+}
+
+// converge waits until every subscription has caught up with the final
+// write: its stream reached finalVersion and its flip-tracked verdict
+// matches ground truth there. This closes the race between the last
+// flip's heartbeat (state is settled) and its flip frame (still in
+// flight when the writer finishes).
+func (set *watchSet) converge(queries []schema.Query, final map[int]bool, finalVersion uint64) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for i, ws := range set.watchers {
+		for {
+			v, verdict, started := ws.state()
+			if started && v >= finalVersion && verdict == final[i] {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("loadgen: watch %q did not converge to v%d (at v%d, verdict %v, want %v)",
+					queries[i], finalVersion, v, verdict, final[i])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// stop cancels the subscriptions and collects the report.
+func (set *watchSet) stop() *WatchReport {
+	set.cancel()
+	set.wg.Wait()
+	rep := &WatchReport{Sources: append([]string(nil), watchQueries...)}
+	for _, src := range watchQueries {
+		q, _ := parse.Query(src)
+		rep.Queries = append(rep.Queries, q)
+	}
+	for _, ws := range set.watchers {
+		rep.Events = append(rep.Events, ws.events)
+	}
+	return rep
+}
+
+// ValidateWatch cross-checks every collected watch frame against the
+// shadow snapshots: a frame's verdict must equal core.Certain on the
+// shadow at the frame's version, a flip's From must equal the verdict
+// the stream previously settled on, and no intermediate version between
+// two consecutive flip baselines may disagree with the earlier verdict
+// (a disagreement is a flip the stream failed to push). State frames
+// reset the baseline (resynchronization after shedding or reconnect).
+// Returns the number of frames checked.
+func ValidateWatch(rep *MutableReport) (int, error) {
+	w := rep.Watch
+	if w == nil {
+		return 0, fmt.Errorf("loadgen: run collected no watch report")
+	}
+	versions := make([]uint64, 0, len(rep.Shadows))
+	for v := range rep.Shadows {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	finalVersion := versions[len(versions)-1]
+
+	type key struct {
+		qi int
+		v  uint64
+	}
+	memo := make(map[key]bool)
+	truth := func(qi int, v uint64) (bool, error) {
+		k := key{qi, v}
+		if got, ok := memo[k]; ok {
+			return got, nil
+		}
+		snap, ok := rep.Shadows[v]
+		if !ok {
+			return false, fmt.Errorf("version %d has no shadow snapshot", v)
+		}
+		got, err := core.Certain(w.Queries[qi], snap, core.EngineAuto)
+		if err != nil {
+			return false, err
+		}
+		memo[k] = got
+		return got, nil
+	}
+	// between checks that every shadow version in (lo, hi) agrees with
+	// verdict — i.e. no flip went unreported inside the window.
+	between := func(qi int, lo, hi uint64, verdict bool) error {
+		i := sort.Search(len(versions), func(i int) bool { return versions[i] > lo })
+		for ; i < len(versions) && versions[i] < hi; i++ {
+			got, err := truth(qi, versions[i])
+			if err != nil {
+				return err
+			}
+			if got != verdict {
+				return fmt.Errorf("verdict flipped at v%d but no flip frame covers it", versions[i])
+			}
+		}
+		return nil
+	}
+
+	checked := 0
+	for qi := range w.Queries {
+		var lastVerdict bool
+		var lastVersion uint64
+		started := false
+		for fi, ev := range w.Events[qi] {
+			want, err := truth(qi, ev.Version)
+			if err != nil {
+				return checked, fmt.Errorf("loadgen: watch %q frame %d: %w", w.Sources[qi], fi, err)
+			}
+			fail := func(format string, args ...any) error {
+				return fmt.Errorf("loadgen: watch %q frame %d (%+v): %s",
+					w.Sources[qi], fi, ev, fmt.Sprintf(format, args...))
+			}
+			switch ev.Type {
+			case server.WatchEventState:
+				if ev.Verdict != want {
+					return checked, fail("state verdict %v, shadow says %v", ev.Verdict, want)
+				}
+				lastVerdict, lastVersion, started = ev.Verdict, ev.Version, true
+			case server.WatchEventHeartbeat:
+				if ev.Verdict != want {
+					return checked, fail("heartbeat verdict %v, shadow says %v", ev.Verdict, want)
+				}
+			case server.WatchEventFlip:
+				if !started {
+					return checked, fail("flip before the header state")
+				}
+				if *ev.From != lastVerdict {
+					return checked, fail("flip from %v, stream settled on %v — a flip was missed", *ev.From, lastVerdict)
+				}
+				if ev.Verdict != want {
+					return checked, fail("flip to %v, shadow says %v", ev.Verdict, want)
+				}
+				if err := between(qi, lastVersion, ev.Version, lastVerdict); err != nil {
+					return checked, fail("%v", err)
+				}
+				lastVerdict, lastVersion = ev.Verdict, ev.Version
+			}
+			checked++
+		}
+		if !started {
+			return checked, fmt.Errorf("loadgen: watch %q delivered no state", w.Sources[qi])
+		}
+		// Tail: no unreported flip between the last baseline and the end
+		// of the run, and the final verdicts agree.
+		if err := between(qi, lastVersion, finalVersion, lastVerdict); err != nil {
+			return checked, fmt.Errorf("loadgen: watch %q tail: %w", w.Sources[qi], err)
+		}
+		finalWant, err := truth(qi, finalVersion)
+		if err != nil {
+			return checked, err
+		}
+		if lastVersion < finalVersion && finalWant != lastVerdict {
+			return checked, fmt.Errorf("loadgen: watch %q: final verdict %v at v%d never pushed (stream settled on %v)",
+				w.Sources[qi], finalWant, finalVersion, lastVerdict)
+		}
+	}
+	return checked, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cqa/internal/db"
 	"cqa/internal/metrics"
 	"cqa/internal/shard"
 	"cqa/internal/store"
@@ -184,8 +185,14 @@ func (f *Follower) track(ctx context.Context, d DBShards) {
 		r.SetOnBatch(func(c store.Change) {
 			fdb.hookMu.Lock()
 			defer fdb.hookMu.Unlock()
-			v := fdb.sh.Refresh().Version()
+			view := fdb.sh.Refresh()
+			v := view.Version()
 			f.srv.Engine().ApplyWrite(name, v, c.Rels)
+			// Watches on the follower see the replica's global versions;
+			// the per-shard change carries the dirty blocks.
+			gc := c
+			gc.Version = v
+			f.srv.Engine().DeltaApply(name, gc, func() *db.Database { return view.Union() })
 		})
 		r.SetOnReset(func(version uint64) {
 			fdb.hookMu.Lock()

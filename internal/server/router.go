@@ -47,7 +47,10 @@ type Router struct {
 	shards   []string
 	replicas []string
 	client   *http.Client
-	handler  http.Handler
+	// watchClient issues the long-lived per-shard watch streams; it has
+	// no overall timeout (client disconnect cancels via context).
+	watchClient *http.Client
+	handler     http.Handler
 }
 
 // Router0 is the local half of a Router: a plain Server with no stores,
@@ -86,8 +89,12 @@ func NewRouter(opt RouterOptions) *Router {
 	if rt.client == nil {
 		rt.client = &http.Client{Timeout: 10 * time.Second}
 	}
+	rt.watchClient = &http.Client{}
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/certain", rt.inner.api("certain_total", rt.handleCertain))
+	// Watch streams are long-lived: registered outside the admission
+	// middleware, like the shard servers' own /v1/watch.
+	mux.HandleFunc("POST /v1/watch", rt.handleWatch)
 	mux.Handle("POST /v1/db/create", rt.inner.api("db_create_total", rt.handleDBCreate))
 	mux.Handle("POST /v1/db/insert", rt.inner.api("db_insert_total", rt.handleDBWrite(false)))
 	mux.Handle("POST /v1/db/delete", rt.inner.api("db_delete_total", rt.handleDBWrite(true)))

@@ -60,6 +60,9 @@ type Options struct {
 	MaxBatchItems int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// WatchHeartbeat is the /v1/watch heartbeat cadence; ≤ 0 selects
+	// DefaultWatchHeartbeat.
+	WatchHeartbeat time.Duration
 	// Metrics receives request counters and latencies; nil creates a
 	// fresh registry (exposed via Registry).
 	Metrics *metrics.Registry
@@ -120,6 +123,21 @@ func New(opt Options) *Server {
 		sem:    make(chan struct{}, opt.MaxInFlight),
 		start:  time.Now(),
 	}
+	// The delta layer reports its decisions and flips through the
+	// server's registry; install the hooks before the stores attach so
+	// no change outruns them.
+	s.eng.SetWatchHooks(engine.WatchHooks{
+		OnReeval: func(_, outcome string) {
+			s.reg.Counter(metrics.Label("delta_reeval_total", "outcome", outcome)).Inc()
+		},
+		OnFlip: func(db string) {
+			s.reg.Counter(metrics.Label("watch_flips_total", "db", db)).Inc()
+		},
+		OnResultInvalidate: func(rel string) {
+			s.reg.Counter(metrics.Label("result_cache_invalidations_total", "rel", rel)).Inc()
+		},
+		Tracer: s.tracer,
+	})
 	// Preloaded databases become memory-only stores; a durable store that
 	// already claimed the name wins (the preload seeded it originally).
 	for name, d := range opt.Databases {
@@ -143,6 +161,10 @@ func New(opt Options) *Server {
 	}
 	s.reg.Counter("partial_result_total")
 	s.reg.Counter("partial_write_total")
+	for _, outcome := range []string{"skipped", "reevaluated", "flipped"} {
+		s.reg.Counter(metrics.Label("delta_reeval_total", "outcome", outcome))
+	}
+	s.reg.Gauge("watch_active")
 	s.reg.Gauge("requests_inflight")
 	s.reg.Gauge("snapshot_version")
 	s.reg.Histogram("request_latency")
@@ -177,6 +199,9 @@ func New(opt Options) *Server {
 	// the api() middleware so a following replica neither occupies an
 	// admission slot nor trips the per-request timeout.
 	mux.HandleFunc("GET /v1/wal/stream", s.handleWALStream)
+	// Watch streams are long-lived like the WAL stream: registered
+	// outside the admission middleware.
+	mux.HandleFunc("POST /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -205,6 +230,12 @@ func (s *Server) attach(name string, sh *shard.Sharded) {
 	s.reg.Gauge("snapshot_version").Max(int64(sh.Version()))
 	sh.SetOnApply(func(c store.Change) {
 		s.eng.ApplyWrite(name, c.Version, c.Rels)
+		// The hook runs under the facade's write lock, so the published
+		// view is exactly the snapshot at c.Version. The union is
+		// resolved lazily inside the delta worker — an unwatched
+		// database never builds it.
+		view := sh.View()
+		s.eng.DeltaApply(name, c, func() *db.Database { return view.Union() })
 		s.reg.Counter("wal_records").Add(uint64(c.Applied))
 		s.reg.Gauge("snapshot_version").Max(int64(c.Version))
 	})

@@ -221,22 +221,24 @@ func (h *harness) mustAnswer(query string) {
 }
 
 // quiesceFollower waits until the follower's served version matches
-// shard 0's, so replica-preferring reads see the shadow's content.
+// its primary shard's, so replica-preferring reads see the shadow's
+// content.
 func (h *harness) quiesceFollower() {
 	if h.tp.Follower == nil {
 		return
 	}
 	h.t.Helper()
+	primary := h.tp.Shards[h.tp.FollowerShard]
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		pv, perr := h.version(h.tp.Shards[0].URL)
+		pv, perr := h.version(primary.URL)
 		fv, ferr := h.version(h.tp.Follower.URL)
 		if perr == nil && ferr == nil && pv == fv {
 			return
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
-	h.t.Fatalf("follower did not catch up with shard0 within 15s")
+	h.t.Fatalf("follower did not catch up with %s within 15s", primary.Name)
 }
 
 // version reads a server's served version of the chaos database.
@@ -303,6 +305,9 @@ func TestChaosKillRecover(t *testing.T) {
 		Shards:   4,
 		Durable:  true,
 		Follower: true,
+		// A non-zero shard carries the replica: the failover paths must
+		// not depend on the replicated shard being the first one.
+		FollowerShard: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -355,8 +360,8 @@ func TestChaosKillRecover(t *testing.T) {
 			owned, other := h.keyOwnedBy(victimShard)
 			// Keys on live shards keep answering exactly.
 			h.mustAnswer(h.query(other))
-			if victimShard == 0 {
-				// Shard 0 is replicated: its reads fail over to the
+			if victimShard == tp.FollowerShard {
+				// The replicated shard: its reads fail over to the
 				// follower and must still be exact.
 				h.mustAnswer(h.query(owned))
 			} else {
@@ -388,7 +393,7 @@ func TestChaosKillRecover(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Replica-preferring reads fall back to the primary.
-			owned, _ := h.keyOwnedBy(0)
+			owned, _ := h.keyOwnedBy(tp.FollowerShard)
 			h.mustAnswer(h.query(owned))
 		}
 

@@ -150,9 +150,13 @@ type BootOptions struct {
 	// Durable gives every shard its own -data directory, so a SIGKILLed
 	// shard recovers from its WAL on restart.
 	Durable bool
-	// Follower adds a WAL-shipping follower of shard 0 and registers it
-	// as shard 0's read replica on the router.
+	// Follower adds a WAL-shipping follower of shard FollowerShard and
+	// registers it as that shard's read replica on the router.
 	Follower bool
+	// FollowerShard selects which shard the follower replicates; the
+	// zero value keeps the historical shard-0 placement. Out-of-range
+	// values fail Boot.
+	FollowerShard int
 	// ShardEnv is extra environment for the shard processes (the bench
 	// sets GOMAXPROCS=1 to pin per-shard compute).
 	ShardEnv []string
@@ -161,11 +165,13 @@ type BootOptions struct {
 }
 
 // Topology is a booted process set: Shards[i] serve slices, Router
-// scatter-gathers over them, Follower (optional) replicates shard 0.
+// scatter-gathers over them, Follower (optional) replicates shard
+// FollowerShard.
 type Topology struct {
-	Shards   []*Proc
-	Router   *Proc
-	Follower *Proc
+	Shards        []*Proc
+	Router        *Proc
+	Follower      *Proc
+	FollowerShard int
 }
 
 // Boot reserves one loopback port per process, starts the shard
@@ -174,6 +180,9 @@ type Topology struct {
 func Boot(opt BootOptions) (*Topology, error) {
 	if opt.Shards <= 0 {
 		opt.Shards = 4
+	}
+	if opt.Follower && (opt.FollowerShard < 0 || opt.FollowerShard >= opt.Shards) {
+		return nil, fmt.Errorf("chaostest: follower shard %d out of range (have %d shards)", opt.FollowerShard, opt.Shards)
 	}
 	nPorts := opt.Shards + 1
 	if opt.Follower {
@@ -219,7 +228,8 @@ func Boot(opt BootOptions) (*Topology, error) {
 	}
 
 	if opt.Follower {
-		args := append([]string{"-follow", shardURLs[0], "-follower-id", "chaos-follower"}, opt.FollowerArgs...)
+		tp.FollowerShard = opt.FollowerShard
+		args := append([]string{"-follow", shardURLs[opt.FollowerShard], "-follower-id", "chaos-follower"}, opt.FollowerArgs...)
 		tp.Follower = newProc("follower", ports[opt.Shards+1], nil, args...)
 		if err := tp.Follower.Start(); err != nil {
 			return fail(err)
@@ -228,9 +238,10 @@ func Boot(opt BootOptions) (*Topology, error) {
 
 	routerArgs := append([]string{"-route", strings.Join(shardURLs, ",")}, opt.RouterArgs...)
 	if opt.Follower {
-		// Shard 0's reads prefer the replica; the other slots stay empty.
+		// The replicated shard's reads prefer the replica; the other
+		// slots stay empty.
 		replicas := make([]string, opt.Shards)
-		replicas[0] = tp.Follower.URL
+		replicas[opt.FollowerShard] = tp.Follower.URL
 		routerArgs = append(routerArgs, "-route-replicas", strings.Join(replicas, ","))
 	}
 	tp.Router = newProc("router", ports[opt.Shards], nil, routerArgs...)
