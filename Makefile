@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzWALStream -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzCompiledEval -fuzztime $(FUZZTIME) ./internal/fo
+	$(GO) test -run '^$$' -fuzz FuzzBitmapEval -fuzztime $(FUZZTIME) ./internal/fo
 	$(GO) test -run '^$$' -fuzz FuzzWatchProtocol -fuzztime $(FUZZTIME) ./internal/server
 
 # One iteration per benchmark: compiles and exercises every benchmark
@@ -38,9 +39,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Compiled-vs-interpreted evaluation smoke: runs the E-series rewriting
-# workloads at tiny sizes, regenerates BENCH_eval.json, and fails if the
-# compiled evaluator is slower than the tree walker on the largest smoke
-# instance (the gate lives in certbench's -bench-out mode).
+# workloads at tiny sizes, regenerates BENCH_eval.json, and fails if any
+# of the engine ordering gates break on the largest smoke instance: the
+# compiled evaluator must beat the tree walker (E15), the bitmap
+# evaluator must beat the scalar compiled one (E18), and the shared-pass
+# batch must beat the per-item loop at batch 64 (E18). The gates live in
+# certbench's -bench-out mode.
 bench-smoke:
 	$(GO) run ./cmd/certbench -bench-out BENCH_eval.json -quick
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"cqa/internal/db"
@@ -53,10 +54,28 @@ func benchSizes(quick bool) []int {
 	return []int{64, 256, 1024}
 }
 
+// benchMeta stamps a BENCH_eval.json run with the toolchain and host
+// shape the numbers were measured under.
+type benchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// benchDocOut is the BENCH_eval.json document: run metadata plus the
+// per-(experiment, query, size, engine) entries.
+type benchDocOut struct {
+	Meta    benchMeta    `json:"meta"`
+	Entries []benchEntry `json:"entries"`
+}
+
 func runBenchOut(path string, quick bool) error {
 	var entries []benchEntry
 	type largest struct{ tree, compiled int64 }
 	var last largest
+	// compiledNs keeps the E15 compiled baselines for the E18 bitmap
+	// comparison, keyed by (query, blocks).
+	compiledNs := map[string]int64{}
 	for _, src := range benchQueries {
 		q := parse.MustQuery(src)
 		f, err := rewrite.Rewrite(q)
@@ -112,6 +131,7 @@ func runBenchOut(path string, quick bool) error {
 					last.tree = e.NsPerOp
 				case "compiled":
 					last.compiled = e.NsPerOp
+					compiledNs[benchKey(src, blocks)] = e.NsPerOp
 				}
 			}
 		}
@@ -128,7 +148,18 @@ func runBenchOut(path string, quick bool) error {
 	if err := runBenchDelta(&entries, quick); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(entries, "", "  ")
+	if err := runBenchBitmap(&entries, quick, compiledNs); err != nil {
+		return err
+	}
+	doc := benchDocOut{
+		Meta: benchMeta{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -138,6 +169,10 @@ func runBenchOut(path string, quick bool) error {
 	}
 	fmt.Printf("  wrote %d entries to %s\n", len(entries), path)
 	return nil
+}
+
+func benchKey(src string, blocks int) string {
+	return fmt.Sprintf("%s@%d", src, blocks)
 }
 
 // cyclicBenchQuery is the non-FO workload: the paper's q1 mutual-

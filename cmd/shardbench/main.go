@@ -56,6 +56,8 @@ type runResult struct {
 
 type benchDoc struct {
 	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
 	NumCPU     int       `json:"num_cpu"`
 	Topology   string    `json:"topology"`
 	Keys       int       `json:"keys"`
@@ -120,6 +122,8 @@ func main() {
 
 	doc := benchDoc{
 		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Topology:   "router over N cqad shard processes, each GOMAXPROCS=1, loopback HTTP",
 		Keys:       *keys,

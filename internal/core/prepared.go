@@ -191,6 +191,29 @@ func (p *Prepared) Certain(d *db.Database) bool {
 	return p.certainNonFO(d)
 }
 
+// HasBitmap reports whether the compiled rewriting lowered at least one
+// quantifier to the bitmap-vectorized form — the path CertainBitmap
+// actually accelerates. False for non-FO queries, compile fallbacks,
+// and programs with no vectorizable quantifier (where CertainBitmap is
+// exactly Certain).
+func (p *Prepared) HasBitmap() bool { return p.prog != nil && p.prog.HasBitmap() }
+
+// CertainBitmap answers like Certain but evaluates the compiled
+// rewriting on the bitmap-vectorized tree (fo.Bound.EvalBitmap; see
+// docs/EVAL.md). Verdicts are identical to Certain by construction;
+// non-FO queries and compile fallbacks take the same dispatch as
+// Certain. This is the engine's default serving path; the
+// engine.Options.DisableBitmap rollback restores Certain.
+func (p *Prepared) CertainBitmap(d *db.Database) bool {
+	if p.InFO() {
+		if b := p.bound(d); b != nil {
+			return b.EvalBitmap()
+		}
+		return evalOn(d, p.cls.Query, p.cls.Rewriting)
+	}
+	return p.certainNonFO(d)
+}
+
 // certainNonFO dispatches a non-FO query to the planner's decider when
 // one exists, else to repair enumeration.
 func (p *Prepared) certainNonFO(d *db.Database) bool {

@@ -86,6 +86,13 @@ type InternedRelation struct {
 	// readers may each build identical indexes with the last published
 	// winning.
 	blockIdx atomic.Pointer[map[uint64][]int32]
+
+	// colSets and holeIdx are the bitmap evaluator's lazy indexes (see
+	// bitset.go): per-column posting lists as IDSets, and per-hole-column
+	// groupings of rows by rest-of-row. Same build-once-atomically idiom
+	// as blockIdx; COW-shared relations carry them across versions.
+	colSets atomic.Pointer[[]*IDSet]
+	holeIdx []atomic.Pointer[holeIndex]
 }
 
 // Rows returns the number of stored tuples.
@@ -237,6 +244,10 @@ type Interned struct {
 
 	rels   map[string]*InternedRelation
 	domain []int32 // sorted ids occurring in the database
+
+	// domainSet lazily memoizes the active domain as an IDSet for the
+	// bitmap evaluator (bitset.go).
+	domainSet atomic.Pointer[IDSet]
 }
 
 // Intern builds a fresh interned view of d with its own dictionary.
@@ -311,6 +322,7 @@ func internWith(dc *dict, prev *Interned, d *Database) *Interned {
 
 func (ix *Interned) buildRelation(r *Relation) *InternedRelation {
 	ir := &InternedRelation{src: r, Arity: r.Arity, Key: r.Key, rows: len(r.facts)}
+	ir.holeIdx = make([]atomic.Pointer[holeIndex], r.Arity)
 	ir.blocks = len(r.blocks)
 	for _, b := range r.blocks {
 		if len(b) > ir.maxBlock {

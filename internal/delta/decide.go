@@ -85,14 +85,14 @@ func (cc *changeCtx) init() {
 	}
 }
 
-// decide reports whether w must be re-evaluated for this change, plus
-// the dirty blocks of w's relations (the flip event's trigger blocks).
-// A false result is a proof that w's verdict is unchanged — see the
+// decide reports whether g must be re-evaluated for this change, plus
+// the dirty blocks of g's relations (the flip event's trigger blocks).
+// A false result is a proof that g's verdict is unchanged — see the
 // package comment for the replay argument each rule discharges.
-func (cc *changeCtx) decide(w *Watch) (reeval bool, triggers []store.BlockRef) {
+func (cc *changeCtx) decide(g *regGroup) (reeval bool, triggers []store.BlockRef) {
 	touched := false
 	for _, r := range cc.c.Rels {
-		if w.rels[r] {
+		if g.rels[r] {
 			touched = true
 			break
 		}
@@ -103,23 +103,23 @@ func (cc *changeCtx) decide(w *Watch) (reeval bool, triggers []store.BlockRef) {
 	}
 	relBlocks := make(map[string]bool)
 	for _, b := range cc.c.Blocks {
-		if w.rels[b.Rel] {
+		if g.rels[b.Rel] {
 			triggers = append(triggers, b)
 			relBlocks[b.Rel] = true
 		}
 	}
-	if w.sup == nil {
+	if g.sup == nil {
 		// Relation-level mode: no support recorded (non-FO query,
 		// compile fallback, or domain-quantifying program).
 		return true, triggers
 	}
 	cc.init()
-	if cc.prev == nil || !cc.chainOK || !w.sup.Ix.SameDict(cc.curIx) {
+	if cc.prev == nil || !cc.chainOK || !g.sup.Ix.SameDict(cc.curIx) {
 		// The dictionary chain broke somewhere between the recorded run
 		// and this version; recorded ids are not comparable.
 		return true, triggers
 	}
-	for _, r := range w.sup.AbsentRels {
+	for _, r := range g.sup.AbsentRels {
 		if relBlocks[r] {
 			// The recorded run saw no relation at all here; any write to
 			// it changes probe answers from the constant false.
@@ -127,15 +127,15 @@ func (cc *changeCtx) decide(w *Watch) (reeval bool, triggers []store.BlockRef) {
 		}
 	}
 	for _, r := range cc.c.Rels {
-		if w.rels[r] && !relBlocks[r] {
+		if g.rels[r] && !relBlocks[r] {
 			// A watched relation is reported touched without block
 			// detail; nothing to intersect against.
 			return true, triggers
 		}
 	}
-	supN := w.sup.Ix.NumIDs()
+	supN := g.sup.Ix.NumIDs()
 	for i, b := range cc.c.Blocks {
-		if !w.rels[b.Rel] {
+		if !g.rels[b.Rel] {
 			continue
 		}
 		ids := cc.keys[i]
@@ -146,12 +146,12 @@ func (cc *changeCtx) decide(w *Watch) (reeval bool, triggers []store.BlockRef) {
 			// value can extend candidate lists.
 			return true, triggers
 		}
-		if w.sup.Holds(cc.hashes[i]) {
+		if g.sup.Holds(cc.hashes[i]) {
 			// Rule 3: the recorded run probed this block; its answer may
 			// have changed.
 			return true, triggers
 		}
-		for _, col := range w.candCols[b.Rel] {
+		for _, col := range g.candCols[b.Rel] {
 			if cc.candChanged(i, b.Rel, ids, col) {
 				// Rule 2: the block's delta changes the value set of a
 				// candidate-source column.

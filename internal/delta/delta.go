@@ -60,9 +60,16 @@ const DefaultWatchBuffer = 64
 
 // Options configures a Manager.
 type Options struct {
-	// OnReeval is invoked once per (change, registration) with the
-	// decision outcome (Outcome*). Nil is allowed.
+	// OnReeval is invoked once per (change, registration group) with the
+	// decision outcome (Outcome*). Registrations with the same canonical
+	// signature on the same database share one group, one support set,
+	// and one decision. Nil is allowed.
 	OnReeval func(db, outcome string)
+	// OnFanin is invoked whenever the registration population changes,
+	// with the total watch count and the (smaller or equal) group count.
+	// watches − groups is the number of subscriptions answered by another
+	// subscription's evaluation. Nil is allowed.
+	OnFanin func(watches, groups int)
 	// OnFlip is invoked once per published verdict flip. Nil is allowed.
 	OnFlip func(db string)
 	// Tracer records one "delta" trace per processed change that had
@@ -115,6 +122,9 @@ type Manager struct {
 	skipped  atomic.Uint64
 	reevaled atomic.Uint64
 	flipped  atomic.Uint64
+
+	watchN atomic.Int64
+	groupN atomic.Int64
 }
 
 // New builds a Manager.
@@ -137,10 +147,28 @@ func (m *Manager) SetTracer(t *obs.Tracer) {
 	}
 }
 
-// Counters reports how many (change, registration) decisions were
-// skipped, re-evaluated without a flip, and re-evaluated with a flip.
+// Counters reports how many (change, registration group) decisions
+// were skipped, re-evaluated without a flip, and re-evaluated with a
+// flip.
 func (m *Manager) Counters() (skipped, reevaluated, flipped uint64) {
 	return m.skipped.Load(), m.reevaled.Load(), m.flipped.Load()
+}
+
+// FanIn reports the current registration population: total watches and
+// the distinct (signature, database) groups backing them. watches −
+// groups is the number of subscriptions sharing another subscription's
+// support set and re-evaluations.
+func (m *Manager) FanIn() (watches, groups int) {
+	return int(m.watchN.Load()), int(m.groupN.Load())
+}
+
+// fanin adjusts the population counters and fires the OnFanin hook.
+func (m *Manager) fanin(dWatch, dGroup int64) {
+	w := m.watchN.Add(dWatch)
+	g := m.groupN.Add(dGroup)
+	if m.opt.OnFanin != nil {
+		m.opt.OnFanin(int(w), int(g))
+	}
 }
 
 // op is one unit of per-database worker input.
@@ -151,6 +179,7 @@ type op struct {
 
 	// control ops.
 	register   *Watch
+	regPrep    *core.Prepared
 	regSnap    Snapshot
 	regDone    chan regResult
 	unregister *Watch
@@ -173,8 +202,12 @@ type dbState struct {
 	wake  chan struct{}
 	stop  bool
 
-	// Worker-owned; untouched by other goroutines.
-	regs        map[*Watch]struct{}
+	// Worker-owned; untouched by other goroutines. Registrations are
+	// grouped by canonical query signature: every watch with the same
+	// signature on this database shares one group — one support set, one
+	// skip decision, one re-evaluation per change (the fan-in).
+	groups      map[string]*regGroup
+	nWatches    int
 	lastVersion uint64
 	lastDBFn    func() *db.Database
 	lastDB      *db.Database // memoized lastDBFn result
@@ -189,10 +222,10 @@ func (m *Manager) state(name string, create bool) *dbState {
 	st := m.dbs[name]
 	if st == nil && create {
 		st = &dbState{
-			m:    m,
-			name: name,
-			wake: make(chan struct{}, 1),
-			regs: make(map[*Watch]struct{}),
+			m:      m,
+			name:   name,
+			wake:   make(chan struct{}, 1),
+			groups: make(map[string]*regGroup),
 		}
 		m.dbs[name] = st
 		go st.run()
@@ -242,34 +275,22 @@ func (m *Manager) Apply(dbName string, c store.Change, dbFn func() *db.Database)
 // later change, the registration is evaluated against that later state
 // instead, so no change between snap.Version and the returned
 // State.Version is lost or double-reported.
+//
+// A registration whose signature already has a group on dbName joins it
+// without a fresh evaluation (fan-in): it adopts the group's settled
+// verdict and shares its support set and future re-evaluations.
 func (m *Manager) Register(dbName, signature string, prep *core.Prepared, snap Snapshot) (*Watch, State, error) {
 	w := &Watch{
 		db:        dbName,
 		signature: signature,
-		prep:      prep,
 		events:    make(chan Event, m.opt.WatchBuffer),
-		rels:      make(map[string]bool),
-		candCols:  make(map[string][]int),
-	}
-	if prog := prep.Program(); prog != nil {
-		for _, r := range prog.Rels() {
-			w.rels[r] = true
-		}
-		for _, cs := range prog.CandSources() {
-			w.candCols[cs.Rel] = append(w.candCols[cs.Rel], cs.Col)
-		}
-		w.usesDomain = prog.UsesDomain()
-	} else {
-		for _, r := range prep.QueryRels() {
-			w.rels[r] = true
-		}
 	}
 	st := m.state(dbName, true)
 	if st == nil {
 		return nil, State{}, fmt.Errorf("delta: manager closed")
 	}
 	done := make(chan regResult, 1)
-	st.enqueue(op{register: w, regSnap: snap, regDone: done})
+	st.enqueue(op{register: w, regPrep: prep, regSnap: snap, regDone: done})
 	res := <-done
 	if res.err != nil {
 		return nil, State{}, res.err
@@ -351,12 +372,9 @@ func (st *dbState) run() {
 
 		switch {
 		case o.regDone != nil:
-			o.regDone <- st.admit(o.register, o.regSnap)
+			o.regDone <- st.admit(o.register, o.regPrep, o.regSnap)
 		case o.unregister != nil:
-			if _, ok := st.regs[o.unregister]; ok {
-				delete(st.regs, o.unregister)
-				close(o.unregister.events)
-			}
+			st.removeWatch(o.unregister)
 		case o.quiesce != nil:
 			close(o.quiesce)
 		case o.drop:
@@ -368,12 +386,41 @@ func (st *dbState) run() {
 	}
 }
 
-// shutdown closes every watch and fails every queued control op.
-func (st *dbState) shutdown() {
-	for w := range st.regs {
-		close(w.events)
+// removeWatch drops one watch from its group, dissolving the group when
+// it was the last member.
+func (st *dbState) removeWatch(w *Watch) {
+	g := st.groups[w.signature]
+	if g == nil {
+		return
 	}
-	st.regs = map[*Watch]struct{}{}
+	if _, ok := g.watches[w]; !ok {
+		return
+	}
+	delete(g.watches, w)
+	close(w.events)
+	st.nWatches--
+	if len(g.watches) == 0 {
+		delete(st.groups, w.signature)
+		st.m.fanin(-1, -1)
+	} else {
+		st.m.fanin(-1, 0)
+	}
+}
+
+// shutdown closes every watch and fails every queued control op. The
+// fan-in counters drop before the channels close, so a consumer that
+// observes the close sees the settled population.
+func (st *dbState) shutdown() {
+	if st.nWatches > 0 || len(st.groups) > 0 {
+		st.m.fanin(-int64(st.nWatches), -int64(len(st.groups)))
+	}
+	for _, g := range st.groups {
+		for w := range g.watches {
+			close(w.events)
+		}
+	}
+	st.groups = map[string]*regGroup{}
+	st.nWatches = 0
 	st.mu.Lock()
 	st.stop = true
 	rest := st.queue
@@ -389,10 +436,12 @@ func (st *dbState) shutdown() {
 	}
 }
 
-// admit evaluates a new registration at the worker's current state (or
-// the registration's own snapshot when the worker has seen nothing
-// newer) and installs it.
-func (st *dbState) admit(w *Watch, snap Snapshot) regResult {
+// admit installs a new registration: it joins the signature's existing
+// group when one exists (re-evaluating only if the registration's
+// snapshot is ahead of the group's settled version), or creates and
+// evaluates a fresh group at the worker's current state (or the
+// registration's own snapshot when the worker has seen nothing newer).
+func (st *dbState) admit(w *Watch, prep *core.Prepared, snap Snapshot) regResult {
 	d, version := snap.DB, snap.Version
 	if st.lastVersion > version {
 		d, version = st.currentDB(), st.lastVersion
@@ -404,10 +453,28 @@ func (st *dbState) admit(w *Watch, snap Snapshot) regResult {
 		st.lastDBFn = func() *db.Database { return cached }
 		st.lastDB = d
 	}
-	w.evaluate(d)
-	w.setState(version, w.verdict)
-	st.regs[w] = struct{}{}
-	return regResult{state: State{Version: version, Verdict: w.verdict}}
+	g := st.groups[w.signature]
+	created := g == nil
+	if created {
+		g = newRegGroup(w.signature, prep)
+		st.groups[w.signature] = g
+	}
+	if created || version > g.version {
+		// A joining watch whose snapshot is ahead of the group's settled
+		// state refreshes the whole group; otherwise the group's verdict
+		// is already current and the join costs no evaluation.
+		g.evaluate(d)
+		g.version = version
+	}
+	g.watches[w] = struct{}{}
+	w.setState(g.version, g.verdict)
+	st.nWatches++
+	if created {
+		st.m.fanin(1, 1)
+	} else {
+		st.m.fanin(1, 0)
+	}
+	return regResult{state: State{Version: g.version, Verdict: g.verdict}}
 }
 
 func (st *dbState) currentDB() *db.Database {
@@ -424,7 +491,7 @@ func (st *dbState) processChange(o op) {
 	if c.Version <= st.lastVersion && st.lastVersion != 0 {
 		return // duplicate delivery
 	}
-	if len(st.regs) == 0 {
+	if len(st.groups) == 0 {
 		// Nobody watches: just advance the tracked snapshot (lazily).
 		st.lastVersion = c.Version
 		st.lastDBFn = o.dbFn
@@ -440,36 +507,47 @@ func (st *dbState) processChange(o op) {
 
 	cc := &changeCtx{c: c, prev: prev, cur: cur}
 	var nSkip, nReeval, nFlip int
-	for w := range st.regs {
-		reeval, triggers := cc.decide(w)
+	for _, g := range st.groups {
+		if c.Version <= g.version {
+			// The group was admitted against a snapshot at or past this
+			// change (a registration raced ahead of the change stream);
+			// its verdict already reflects it.
+			continue
+		}
+		reeval, triggers := cc.decide(g)
 		if !reeval {
 			// A proven skip settles the verdict at the new version too:
 			// advance the published state so heartbeats report progress.
-			w.setState(c.Version, w.verdict)
+			g.setState(c.Version)
 			nSkip++
 			st.m.skipped.Add(1)
 			st.m.hookReeval(st.name, OutcomeSkipped)
 			continue
 		}
-		old := w.verdict
-		w.evaluate(cur)
-		w.setState(c.Version, w.verdict)
-		if w.verdict != old {
+		old := g.verdict
+		g.evaluate(cur)
+		g.setState(c.Version)
+		if g.verdict != old {
 			nFlip++
 			st.m.flipped.Add(1)
 			st.m.hookReeval(st.name, OutcomeFlipped)
 			if st.m.opt.OnFlip != nil {
 				st.m.opt.OnFlip(st.name)
 			}
-			w.emit(Event{Version: c.Version, From: old, To: w.verdict, Blocks: formatBlocks(triggers)})
+			for w := range g.watches {
+				w.emit(Event{Version: c.Version, From: old, To: g.verdict, Blocks: formatBlocks(triggers)})
+			}
 		} else {
 			nReeval++
 			st.m.reevaled.Add(1)
 			st.m.hookReeval(st.name, OutcomeReevaluated)
-			if w.gapped {
-				// The consumer shed flips earlier; the settled state is the
-				// next deliverable event, collapsed into a Resync by emit.
-				w.emit(Event{Version: c.Version, From: old, To: w.verdict})
+			for w := range g.watches {
+				if w.gapped {
+					// The consumer shed flips earlier; the settled state is
+					// the next deliverable event, collapsed into a Resync by
+					// emit.
+					w.emit(Event{Version: c.Version, From: old, To: g.verdict})
+				}
 			}
 		}
 	}
@@ -503,23 +581,86 @@ func formatBlocks(refs []store.BlockRef) []string {
 	return out
 }
 
-// Watch is one registered (query, database) pair. Its verdict state is
-// owned by the database worker; consumers read events from Events and
-// may poll State concurrently.
-type Watch struct {
-	db        string
+// regGroup is the shared evaluation state of every watch registered
+// with one canonical signature on one database: the prepared plan, the
+// static program analysis, the settled verdict, and the recorded
+// support set. All fields are worker-owned. Grouping is the watch
+// fan-in — N identical subscriptions cost one support set and one
+// re-evaluation per change, not N.
+type regGroup struct {
 	signature string
 	prep      *core.Prepared
 
-	// Static program analysis, set at Register.
+	// Static program analysis, set at group creation.
 	rels       map[string]bool  // relations the query/program mentions
 	candCols   map[string][]int // candidate-source columns per relation
 	usesDomain bool
 
-	// Worker-owned evaluation state.
+	// Evaluation state.
 	verdict bool
 	sup     *fo.Support // nil when block-level skipping is unavailable
-	gapped  bool
+	version uint64      // version the verdict is settled at
+
+	watches map[*Watch]struct{}
+}
+
+func newRegGroup(signature string, prep *core.Prepared) *regGroup {
+	g := &regGroup{
+		signature: signature,
+		prep:      prep,
+		rels:      make(map[string]bool),
+		candCols:  make(map[string][]int),
+		watches:   make(map[*Watch]struct{}),
+	}
+	if prog := prep.Program(); prog != nil {
+		for _, r := range prog.Rels() {
+			g.rels[r] = true
+		}
+		for _, cs := range prog.CandSources() {
+			g.candCols[cs.Rel] = append(g.candCols[cs.Rel], cs.Col)
+		}
+		g.usesDomain = prog.UsesDomain()
+	} else {
+		for _, r := range prep.QueryRels() {
+			g.rels[r] = true
+		}
+	}
+	return g
+}
+
+// evaluate recomputes the group verdict and support against d.
+// Block-level skipping requires a compiled program that never
+// quantifies over the active domain; everything else keeps sup nil and
+// degrades to relation-level skipping.
+func (g *regGroup) evaluate(d *db.Database) {
+	verdict, sup, supported := g.prep.CertainSupport(d)
+	g.verdict = verdict
+	if supported && !g.usesDomain {
+		g.sup = sup
+	} else {
+		g.sup = nil
+	}
+}
+
+// setState settles the group at version and fans the published state
+// out to every member watch.
+func (g *regGroup) setState(version uint64) {
+	g.version = version
+	for w := range g.watches {
+		w.setState(version, g.verdict)
+	}
+}
+
+// Watch is one registered (query, database) subscription. Verdict
+// maintenance lives on the watch's group; the watch itself carries only
+// its event queue and published state. Consumers read events from
+// Events and may poll State concurrently.
+type Watch struct {
+	db        string
+	signature string
+
+	// Worker-owned delivery state.
+	gapped bool
 
 	// Published state, readable concurrently (heartbeats poll it).
 	stateMu sync.Mutex
@@ -553,20 +694,6 @@ func (w *Watch) setState(version uint64, verdict bool) {
 	w.version = version
 	w.stVerd = verdict
 	w.stateMu.Unlock()
-}
-
-// evaluate recomputes the verdict and support against d. Block-level
-// skipping requires a compiled program that never quantifies over the
-// active domain; everything else keeps sup nil and degrades to
-// relation-level skipping.
-func (w *Watch) evaluate(d *db.Database) {
-	verdict, sup, supported := w.prep.CertainSupport(d)
-	w.verdict = verdict
-	if supported && !w.usesDomain {
-		w.sup = sup
-	} else {
-		w.sup = nil
-	}
 }
 
 // emit delivers an event without ever blocking the worker: when the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cqa/internal/core"
 	"cqa/internal/db"
@@ -54,6 +55,18 @@ type Options struct {
 	// differentially tested against the tree walker; this is the
 	// operational rollback switch.
 	ForceTreeWalk bool
+	// DisableBitmap evaluates compiled rewritings on the scalar
+	// per-candidate tree instead of the bitmap-vectorized tree
+	// (docs/EVAL.md). The bitmap path is the default for programs with
+	// vectorizable quantifiers and is differentially tested against the
+	// scalar pipeline; this is its ForceTreeWalk-style rollback switch.
+	DisableBitmap bool
+	// DisableBatchSharing makes CertainBatch evaluate every item
+	// independently instead of grouping identical (query, snapshot)
+	// items into one shared evaluation. Rollback switch for the
+	// shared-pass batching; also the per-item baseline certbench's E18
+	// experiment measures against.
+	DisableBatchSharing bool
 }
 
 // DefaultCacheSize is the plan-cache capacity when Options.CacheSize ≤ 0.
@@ -150,7 +163,13 @@ func (e *Engine) Prepare(q schema.Query) (*core.Prepared, error) {
 // prepare is Prepare without the lifecycle bracket, for internal callers
 // that have already registered with begin.
 func (e *Engine) prepare(q schema.Query) (*core.Prepared, error) {
-	sig := q.Signature()
+	return e.prepareSig(q.Signature(), q)
+}
+
+// prepareSig is prepare for callers that already hold q's canonical
+// signature (batch grouping computes it anyway), saving the
+// re-canonicalization.
+func (e *Engine) prepareSig(sig string, q schema.Query) (*core.Prepared, error) {
 	if p, ok := e.cache.get(sig); ok {
 		return p, nil
 	}
@@ -188,7 +207,10 @@ func (e *Engine) certainWith(p *core.Prepared, d *db.Database) bool {
 	if e.opt.ParallelEval {
 		return p.CertainParallel(d, e.opt.Workers, e.opt.MinParallelCandidates)
 	}
-	return p.Certain(d)
+	if e.opt.DisableBitmap {
+		return p.Certain(d)
+	}
+	return p.CertainBitmap(d)
 }
 
 // CertainVersioned answers CERTAINTY(q) on one immutable snapshot of a
@@ -256,13 +278,61 @@ type Result struct {
 	Err     error
 }
 
+// batchKey identifies one shared evaluation of a batch: a canonical
+// query signature against one database snapshot. Alpha-equivalent
+// queries against the pointer-identical snapshot are one key.
+type batchKey struct {
+	sig string
+	db  *db.Database
+}
+
+// batchScratch is the reusable grouping bookkeeping of one CertainBatch
+// call, pooled so steady-state batches allocate only the caller-visible
+// result slice. Inner member slices keep their capacity across calls.
+type batchScratch struct {
+	groupOf map[batchKey]int32
+	sigs    []string  // group → canonical signature ("" when sharing is off)
+	members [][]int32 // group → item indexes, in item order
+}
+
+var batchPool = sync.Pool{
+	New: func() any { return &batchScratch{groupOf: make(map[batchKey]int32)} },
+}
+
+func (sc *batchScratch) addGroup(sig string) int32 {
+	g := len(sc.members)
+	if g < cap(sc.members) {
+		sc.members = sc.members[:g+1]
+		sc.members[g] = sc.members[g][:0]
+	} else {
+		sc.members = append(sc.members, nil)
+	}
+	sc.sigs = append(sc.sigs, sig)
+	return int32(g)
+}
+
+func (sc *batchScratch) release() {
+	clear(sc.groupOf)
+	for i := range sc.members {
+		sc.members[i] = sc.members[i][:0]
+	}
+	sc.members = sc.members[:0]
+	sc.sigs = sc.sigs[:0]
+	batchPool.Put(sc)
+}
+
 // CertainBatch fans the independent checks across the engine's worker
-// pool and returns one result per item, in order. Each item is evaluated
-// sequentially (the batch is the parallelism); plans are shared through
-// the cache, so a batch of one hot query against many databases pays for
-// classification once. Errors — including panics from malformed inputs —
-// are isolated per item. Cancelling ctx stops dispatching new items;
-// in-flight items run to completion.
+// pool and returns one result per item, in order. Items are first
+// grouped by (canonical query signature, database snapshot): every
+// group evaluates once in a shared pass — one plan, one bound program,
+// one verdict fanned out to all members — so a batch with duplicated
+// hot checks pays for each distinct check once (the sharded router
+// preserves this: repeated named-database reads resolve to the
+// pointer-identical memoized union snapshot). Options.DisableBatchSharing
+// restores the per-item loop. Each group is evaluated sequentially (the
+// batch is the parallelism); errors — including panics from malformed
+// inputs — are isolated per group. Cancelling ctx stops dispatching new
+// groups; in-flight groups run to completion.
 func (e *Engine) CertainBatch(ctx context.Context, items []Item) []Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -276,67 +346,100 @@ func (e *Engine) CertainBatch(ctx context.Context, items []Item) []Result {
 	}
 	defer e.end()
 	e.stats.batches.Add(1)
+
+	sc := batchPool.Get().(*batchScratch)
+	defer sc.release()
+	share := !e.opt.DisableBatchSharing
+	for i := range items {
+		var g int32
+		if share {
+			k := batchKey{sig: items[i].Query.Signature(), db: items[i].DB}
+			gi, ok := sc.groupOf[k]
+			if !ok {
+				gi = sc.addGroup(k.sig)
+				sc.groupOf[k] = gi
+			}
+			g = gi
+		} else {
+			g = sc.addGroup("")
+		}
+		sc.members[g] = append(sc.members[g], int32(i))
+	}
+	nGroups := len(sc.members)
+
 	workers := e.opt.Workers
-	if workers > len(items) {
-		workers = len(items)
+	if workers > nGroups {
+		workers = nGroups
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	idx := make(chan int)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= nGroups {
+					return
+				}
+				mem := sc.members[g]
+				if ctx.Err() != nil {
+					err := context.Cause(ctx)
+					for _, i := range mem {
+						results[i] = Result{Err: err}
+					}
+					e.stats.cancelled.Add(uint64(len(mem)))
+					continue
+				}
 				busy := e.stats.busyWorkers.Add(1)
 				e.stats.observePeak(busy)
-				results[i] = e.certainIsolated(items[i])
+				res := e.certainIsolated(items[mem[0]], sc.sigs[g])
 				e.stats.busyWorkers.Add(-1)
-				e.stats.items.Add(1)
+				for _, i := range mem {
+					results[i] = res
+				}
+				e.stats.items.Add(uint64(len(mem)))
+				if len(mem) > 1 {
+					e.stats.sharedItems.Add(uint64(len(mem) - 1))
+				}
+				if res.Err != nil {
+					e.stats.errors.Add(uint64(len(mem)))
+				}
 			}
 		}()
 	}
-	dispatched := 0
-dispatch:
-	for i := range items {
-		select {
-		case idx <- i:
-			dispatched++
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(idx)
 	wg.Wait()
-	for i := dispatched; i < len(items); i++ {
-		results[i] = Result{Err: context.Cause(ctx)}
-		e.stats.cancelled.Add(1)
-	}
-	for i := range results[:dispatched] {
-		if results[i].Err != nil {
-			e.stats.errors.Add(1)
-		}
-	}
 	return results
 }
 
 // certainIsolated runs one check, converting panics (e.g. from malformed
 // formulas or databases) into per-item errors so one bad item cannot take
-// down the batch.
-func (e *Engine) certainIsolated(it Item) (res Result) {
+// down the batch. sig is the item's canonical signature when the caller
+// already computed it ("" recomputes). The dispatch mirrors
+// BatchStrategy: batch items never take the parallel fan-out (the batch
+// is the parallelism), bitmap evaluation is the default, and
+// ForceTreeWalk/DisableBitmap roll back.
+func (e *Engine) certainIsolated(it Item, sig string) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: item panicked: %v", r)}
 		}
 	}()
-	p, err := e.prepare(it.Query)
+	if sig == "" {
+		sig = it.Query.Signature()
+	}
+	p, err := e.prepareSig(sig, it.Query)
 	if err != nil {
 		return Result{Err: err}
 	}
 	if e.opt.ForceTreeWalk {
 		return Result{Certain: p.CertainTreeWalk(it.DB)}
 	}
-	return Result{Certain: p.Certain(it.DB)}
+	if e.opt.DisableBitmap {
+		return Result{Certain: p.Certain(it.DB)}
+	}
+	return Result{Certain: p.CertainBitmap(it.DB)}
 }

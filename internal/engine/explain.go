@@ -18,8 +18,15 @@ import (
 // Evaluation strategy names, as reported by Strategy and carried in the
 // strategy metric label.
 const (
-	// StrategyCompiled evaluates the compiled FO rewriting (docs/EVAL.md).
+	// StrategyCompiled evaluates the compiled FO rewriting on the scalar
+	// per-candidate tree (docs/EVAL.md).
 	StrategyCompiled = "compiled"
+	// StrategyCompiledBitmap evaluates the compiled rewriting on the
+	// bitmap-vectorized tree — word-parallel quantifier sweeps over
+	// IDSet membership words (docs/EVAL.md). Default for programs with
+	// vectorizable quantifiers; Options.DisableBitmap rolls back to
+	// StrategyCompiled.
+	StrategyCompiledBitmap = "compiled-bitmap"
 	// StrategyCompiledParallel is the compiled rewriting with top-level
 	// quantifier fan-out (Options.ParallelEval).
 	StrategyCompiledParallel = "compiled-parallel"
@@ -64,6 +71,9 @@ func (e *Engine) strategy(p *core.Prepared, parallel bool) string {
 	}
 	if parallel {
 		return StrategyCompiledParallel
+	}
+	if !e.opt.DisableBitmap && p.HasBitmap() {
+		return StrategyCompiledBitmap
 	}
 	return StrategyCompiled
 }

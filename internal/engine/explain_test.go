@@ -28,9 +28,11 @@ func TestStrategyMirrorsCertainWith(t *testing.T) {
 		query string
 		want  string
 	}{
-		{"compiled default", Options{}, "fo", StrategyCompiled},
+		{"bitmap default", Options{}, "fo", StrategyCompiledBitmap},
+		{"bitmap rollback", Options{DisableBitmap: true}, "fo", StrategyCompiled},
 		{"parallel", Options{ParallelEval: true}, "fo", StrategyCompiledParallel},
 		{"tree-walk switch", Options{ForceTreeWalk: true}, "fo", StrategyTreeWalk},
+		{"tree-walk beats bitmap", Options{ForceTreeWalk: true, DisableBitmap: true}, "fo", StrategyTreeWalk},
 		{"tree-walk beats parallel", Options{ForceTreeWalk: true, ParallelEval: true}, "fo", StrategyTreeWalk},
 		{"naive", Options{}, "cyclic", StrategyNaive},
 		{"naive under parallel", Options{ParallelEval: true}, "cyclic", StrategyNaive},
@@ -57,8 +59,8 @@ func TestStrategyMirrorsCertainWith(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := e.BatchStrategy(p); got != StrategyCompiled {
-		t.Errorf("BatchStrategy = %q, want %q", got, StrategyCompiled)
+	if got := e.BatchStrategy(p); got != StrategyCompiledBitmap {
+		t.Errorf("BatchStrategy = %q, want %q", got, StrategyCompiledBitmap)
 	}
 }
 

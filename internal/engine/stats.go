@@ -10,6 +10,7 @@ import (
 type statsCounters struct {
 	batches     atomic.Uint64
 	items       atomic.Uint64
+	sharedItems atomic.Uint64
 	errors      atomic.Uint64
 	cancelled   atomic.Uint64
 	busyWorkers atomic.Int64
@@ -43,8 +44,12 @@ type Stats struct {
 	// Batches and BatchItems count CertainBatch calls and the items they
 	// completed; BatchErrors counts items that returned an error
 	// (including recovered panics) and CancelledItems the items skipped
-	// because the batch context was cancelled.
+	// because the batch context was cancelled. BatchSharedItems counts
+	// items answered by another item's shared-pass evaluation (grouped by
+	// identical canonical signature and database snapshot) instead of an
+	// evaluation of their own.
 	Batches, BatchItems, BatchErrors, CancelledItems uint64
+	BatchSharedItems                                 uint64
 
 	// Workers is the configured pool width. BusyWorkers is the number of
 	// workers evaluating an item at snapshot time; PeakBusyWorkers the
@@ -70,10 +75,11 @@ func (e *Engine) Stats() Stats {
 		ResultMisses:        rmisses,
 		ResultInvalidations: rinval,
 		CachedResults:       rsize,
-		Batches:         e.stats.batches.Load(),
-		BatchItems:      e.stats.items.Load(),
-		BatchErrors:     e.stats.errors.Load(),
-		CancelledItems:  e.stats.cancelled.Load(),
+		Batches:          e.stats.batches.Load(),
+		BatchItems:       e.stats.items.Load(),
+		BatchSharedItems: e.stats.sharedItems.Load(),
+		BatchErrors:      e.stats.errors.Load(),
+		CancelledItems:   e.stats.cancelled.Load(),
 		Workers:         e.opt.Workers,
 		BusyWorkers:     int(e.stats.busyWorkers.Load()),
 		PeakBusyWorkers: int(e.stats.peakBusy.Load()),
@@ -83,9 +89,9 @@ func (e *Engine) Stats() Stats {
 // String renders the snapshot as a single human-readable line.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"cache: %d hits, %d misses, %d evictions, %d plans | results: %d hits, %d misses, %d invalidations, %d cached | batch: %d batches, %d items, %d errors, %d cancelled | workers: %d/%d busy (peak %d)",
+		"cache: %d hits, %d misses, %d evictions, %d plans | results: %d hits, %d misses, %d invalidations, %d cached | batch: %d batches, %d items, %d shared, %d errors, %d cancelled | workers: %d/%d busy (peak %d)",
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CachedPlans,
 		s.ResultHits, s.ResultMisses, s.ResultInvalidations, s.CachedResults,
-		s.Batches, s.BatchItems, s.BatchErrors, s.CancelledItems,
+		s.Batches, s.BatchItems, s.BatchSharedItems, s.BatchErrors, s.CancelledItems,
 		s.BusyWorkers, s.Workers, s.PeakBusyWorkers)
 }

@@ -20,6 +20,11 @@ type WatchHooks struct {
 	OnReeval func(db, outcome string)
 	// OnFlip is invoked once per published verdict flip.
 	OnFlip func(db string)
+	// OnFanin is invoked whenever the watch population changes, with the
+	// total watch count and the distinct (signature, database) group
+	// count backing them; watches − groups is the number of
+	// subscriptions sharing another subscription's evaluation.
+	OnFanin func(watches, groups int)
 	// OnResultInvalidate is invoked once per result-cache entry
 	// invalidated by a write, with the touched relation that triggered
 	// the invalidation.
@@ -49,6 +54,11 @@ func newDeltaManager(e *Engine) *delta.Manager {
 		OnFlip: func(db string) {
 			if h := e.hooks.Load(); h != nil && h.OnFlip != nil {
 				h.OnFlip(db)
+			}
+		},
+		OnFanin: func(watches, groups int) {
+			if h := e.hooks.Load(); h != nil && h.OnFanin != nil {
+				h.OnFanin(watches, groups)
 			}
 		},
 	})
@@ -96,3 +106,7 @@ func (e *Engine) DeltaCounters() (skipped, reevaluated, flipped uint64) {
 // DeltaQuiesce blocks until every change fed for dbID before the call
 // has been processed. Test and benchmark hook.
 func (e *Engine) DeltaQuiesce(dbID string) { e.delta.Quiesce(dbID) }
+
+// WatchFanIn reports the delta layer's registration population: total
+// watches and the distinct (signature, database) groups backing them.
+func (e *Engine) WatchFanIn() (watches, groups int) { return e.delta.FanIn() }

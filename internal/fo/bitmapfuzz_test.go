@@ -1,0 +1,36 @@
+package fo_test
+
+import (
+	"testing"
+
+	"cqa/internal/fo"
+)
+
+// FuzzBitmapEval decodes a small database and a closed formula from the
+// fuzz input (same decoder as FuzzCompiledEval) and checks that the
+// bitmap-vectorized evaluator agrees with the scalar compiled pipeline
+// and the unoptimized reference. Part of `make fuzz`.
+func FuzzBitmapEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 2, 5, 9, 200, 14, 3, 3, 7})
+	f.Add([]byte{7, 255, 1, 0, 42, 17, 6, 6, 6, 80, 80, 13, 2, 91})
+	f.Add([]byte{4, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := &fuzzDecoder{data: data}
+		d := fz.database()
+		formula := fz.sentence()
+		want := fo.EvalReference(d, formula)
+		p, err := fo.Compile(formula)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", formula, err)
+		}
+		b := p.Bind(d.Interned())
+		if got := b.Eval(); got != want {
+			t.Fatalf("compiled = %v, reference = %v on %s with db:\n%s", got, want, formula, d)
+		}
+		if got := b.EvalBitmap(); got != want {
+			t.Fatalf("compiled-bitmap = %v, reference = %v on %s (vec quants %d) with db:\n%s",
+				got, want, formula, p.VecQuants(), d)
+		}
+	})
+}

@@ -151,6 +151,18 @@ type Program struct {
 	cands    []candPlan
 	maxArity int
 	source   Formula
+
+	// Bitmap lowering (bitmap.go): bmRoot is the vectorized tree (nil
+	// when no quantifier vectorized), vecQuants counts vectorized
+	// quantifiers, vecCand marks candidate plans that must materialize
+	// as IDSets at Bind time, and nVSets/nVBits/nVIds size the machine
+	// scratch the vector nodes index into.
+	bmRoot    node
+	vecQuants int
+	vecCand   []bool
+	nVSets    int
+	nVBits    int
+	nVIds     int
 }
 
 // Slots returns the number of environment slots (binder occurrences).
@@ -181,6 +193,7 @@ func Compile(f Formula) (*Program, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
+	c.lowerBitmap()
 	return c.p, nil
 }
 
@@ -433,6 +446,11 @@ type Bound struct {
 	cands  [][]int32
 	domain []int32
 	pool   sync.Pool
+
+	// candSets materializes the candidate lists of vectorized
+	// quantifiers as IDSets (nil entries for scalar-only cands). Only
+	// populated when the program has a bitmap lowering.
+	candSets []*db.IDSet
 }
 
 // Bind links the program against ix. Constants unknown to the database
@@ -476,8 +494,32 @@ func (p *Program) Bind(ix *db.Interned) *Bound {
 	for i, plan := range p.cands {
 		b.cands[i] = b.materialize(plan)
 	}
+	if p.bmRoot != nil {
+		b.candSets = make([]*db.IDSet, len(p.cands))
+		dom := ix.DomainIDs()
+		for i := range p.cands {
+			if i >= len(p.vecCand) || !p.vecCand[i] {
+				continue
+			}
+			list := b.cands[i]
+			// The unmerged active domain reuses the view-wide memoized
+			// set; everything else builds its own.
+			if len(list) > 0 && len(list) == len(dom) && &list[0] == &dom[0] {
+				b.candSets[i] = ix.DomainSet()
+			} else {
+				b.candSets[i] = db.NewIDSet(list)
+			}
+		}
+	}
 	b.pool.New = func() any {
-		return &mach{b: b, env: make([]int32, p.slots), argbuf: make([]int32, p.maxArity)}
+		m := &mach{b: b, env: make([]int32, p.slots), argbuf: make([]int32, p.maxArity)}
+		if p.bmRoot != nil {
+			m.vsets = make([]*db.IDSet, p.nVSets)
+			m.vbits = make([]bool, p.nVBits)
+			m.vids = make([]int32, p.nVIds)
+			m.restbuf = make([]int32, p.maxArity)
+		}
+		return m
 	}
 	return b
 }
@@ -543,6 +585,15 @@ type mach struct {
 	env    []int32
 	argbuf []int32
 	rec    *recorder
+
+	// Bitmap-evaluation scratch (bitmap.go): per-quantifier prep results
+	// indexed by the program-wide unique slots the vector nodes carry.
+	// Nested vectorized quantifiers never collide because indexes are
+	// globally distinct.
+	vsets   []*db.IDSet
+	vbits   []bool
+	vids    []int32
+	restbuf []int32
 }
 
 func (m *mach) get(t termRef) int32 {

@@ -313,6 +313,7 @@ type EngineStats struct {
 	ResultHitRate       float64 `json:"resultHitRate"`
 	Batches             uint64  `json:"batches"`
 	BatchItems          uint64  `json:"batchItems"`
+	BatchSharedItems    uint64  `json:"batchSharedItems"`
 	BatchErrors         uint64  `json:"batchErrors"`
 	CancelledItems      uint64  `json:"cancelledItems"`
 	Workers             int     `json:"workers"`

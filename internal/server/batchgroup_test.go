@@ -1,0 +1,60 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestBatchGroupingThroughServer: repeated named-database items in one
+// POST /v1/batch resolve to pointer-identical snapshots (memoized shard
+// view unions), so the engine's shared pass answers the duplicates from
+// one evaluation. The verdicts stay per-item.
+func TestBatchGroupingThroughServer(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	base := s.Engine().Stats().BatchSharedItems
+
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Query:     "R(x | y)",
+		Databases: []string{"people", "people", "people", "people"},
+	})
+	ans := decodeBody[BatchResponse](t, resp)
+	if len(ans.Results) != 4 {
+		t.Fatalf("got %d results", len(ans.Results))
+	}
+	for i, r := range ans.Results {
+		if r.Error != "" || !r.Certain {
+			t.Fatalf("result %d = %+v, want certain", i, r)
+		}
+	}
+	if got := s.Engine().Stats().BatchSharedItems - base; got != 3 {
+		t.Fatalf("BatchSharedItems delta = %d, want 3 (4 identical items, one evaluation)", got)
+	}
+
+	// The counter is exposed on /v1/stats as engine.batchSharedItems.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[StatsResponse](t, sresp)
+	if st.Engine.BatchSharedItems != s.Engine().Stats().BatchSharedItems {
+		t.Fatalf("/v1/stats batchSharedItems = %d, engine says %d",
+			st.Engine.BatchSharedItems, s.Engine().Stats().BatchSharedItems)
+	}
+	if st.Engine.BatchSharedItems == 0 {
+		t.Fatal("/v1/stats batchSharedItems = 0 after a shared batch")
+	}
+
+	// Inline-facts items parse fresh snapshots each: never grouped.
+	base = s.Engine().Stats().BatchSharedItems
+	resp = postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Query: "R(x | y)",
+		Facts: []string{"R(a | 1)\n", "R(a | 1)\n"},
+	})
+	ans = decodeBody[BatchResponse](t, resp)
+	if len(ans.Results) != 2 {
+		t.Fatalf("got %d results", len(ans.Results))
+	}
+	if got := s.Engine().Stats().BatchSharedItems - base; got != 0 {
+		t.Fatalf("inline facts shared %d items, want 0", got)
+	}
+}

@@ -460,6 +460,7 @@ func (s *Server) statsResponse() StatsResponse {
 			CachedResults:       st.CachedResults,
 			Batches:             st.Batches,
 			BatchItems:          st.BatchItems,
+			BatchSharedItems:    st.BatchSharedItems,
 			BatchErrors:         st.BatchErrors,
 			CancelledItems:      st.CancelledItems,
 			Workers:             st.Workers,

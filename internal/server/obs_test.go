@@ -163,7 +163,8 @@ func TestExplainReportsExecutedStrategy(t *testing.T) {
 		opt  engine.Options
 		want string
 	}{
-		{"compiled", engine.Options{}, engine.StrategyCompiled},
+		{"bitmap default", engine.Options{}, engine.StrategyCompiledBitmap},
+		{"bitmap rollback", engine.Options{DisableBitmap: true}, engine.StrategyCompiled},
 		{"tree-walk", engine.Options{ForceTreeWalk: true}, engine.StrategyTreeWalk},
 		{"parallel", engine.Options{ParallelEval: true}, engine.StrategyCompiledParallel},
 	}
@@ -184,8 +185,8 @@ func TestExplainReportsExecutedStrategy(t *testing.T) {
 			if ans.Explain.RewritingSize <= 0 {
 				t.Errorf("rewriting size = %d, want > 0", ans.Explain.RewritingSize)
 			}
-			if c.opt == (engine.Options{}) && len(ans.Explain.Quantifiers) == 0 {
-				t.Error("compiled strategy should report a quantifier plan")
+			if !c.opt.ForceTreeWalk && len(ans.Explain.Quantifiers) == 0 {
+				t.Error("compiled strategies should report a quantifier plan")
 			}
 			if ans.Explain.ResultCache != "miss" {
 				t.Errorf("first evaluation resultCache = %q, want miss", ans.Explain.ResultCache)
@@ -223,8 +224,8 @@ func TestExplainReportsExecutedStrategy(t *testing.T) {
 	_, ts := newTestServer(t, Options{Engine: engine.New(engine.Options{ParallelEval: true})})
 	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Query: "R(x | y)", Databases: []string{"people"}, Explain: true})
 	bat := decodeBody[BatchResponse](t, resp)
-	if bat.Explain == nil || bat.Explain.Strategy != engine.StrategyCompiled {
-		t.Errorf("batch explain = %+v, want strategy %q", bat.Explain, engine.StrategyCompiled)
+	if bat.Explain == nil || bat.Explain.Strategy != engine.StrategyCompiledBitmap {
+		t.Errorf("batch explain = %+v, want strategy %q", bat.Explain, engine.StrategyCompiledBitmap)
 	}
 }
 

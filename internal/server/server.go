@@ -133,6 +133,11 @@ func New(opt Options) *Server {
 		OnFlip: func(db string) {
 			s.reg.Counter(metrics.Label("watch_flips_total", "db", db)).Inc()
 		},
+		OnFanin: func(watches, groups int) {
+			// Subscriptions answered by another subscription's shared
+			// evaluation (identical signature on the same database).
+			s.reg.Gauge("watch_fanin").Set(int64(watches - groups))
+		},
 		OnResultInvalidate: func(rel string) {
 			s.reg.Counter(metrics.Label("result_cache_invalidations_total", "rel", rel)).Inc()
 		},
@@ -165,6 +170,7 @@ func New(opt Options) *Server {
 		s.reg.Counter(metrics.Label("delta_reeval_total", "outcome", outcome))
 	}
 	s.reg.Gauge("watch_active")
+	s.reg.Gauge("watch_fanin")
 	s.reg.Gauge("requests_inflight")
 	s.reg.Gauge("snapshot_version")
 	s.reg.Histogram("request_latency")

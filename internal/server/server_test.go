@@ -225,10 +225,10 @@ func TestStatsAndOpsEndpoints(t *testing.T) {
 	}
 	// One evaluation ran (compiled strategy, result-cache miss); the two
 	// repeats hit the versioned result cache.
-	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiled, "cache", "miss"); !ok || v != 1 {
+	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiledBitmap, "cache", "miss"); !ok || v != 1 {
 		t.Errorf("eval_total miss = %v (present=%v), want 1", v, ok)
 	}
-	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiled, "cache", "hit"); !ok || v != 2 {
+	if v, ok := exp.Value("eval_total", "strategy", engine.StrategyCompiledBitmap, "cache", "hit"); !ok || v != 2 {
 		t.Errorf("eval_total hit = %v (present=%v), want 2", v, ok)
 	}
 
